@@ -1,0 +1,36 @@
+# Developer entry points for the reproduction repository.
+
+PY ?= python
+
+.PHONY: install test bench report report-small claims docs examples clean
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+report:
+	$(PY) -m repro.experiments --output experiments_report.txt
+
+report-small:
+	$(PY) -m repro.experiments --preset small --output experiments_report.txt
+
+claims:
+	$(PY) -c "from repro.analysis.compare import evaluate_claims; \
+	s = evaluate_claims(); open('claims_report.md','w').write(s.render_markdown()); \
+	print(f'{s.passed}/{s.total} claims hold')"
+
+docs:
+	$(PY) -c "from repro.isa.manual import write_manual; write_manual()"
+	$(PY) -c "from repro.errormodels.manual import write_manual; write_manual()"
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -f .benchmarks -r 2>/dev/null; true

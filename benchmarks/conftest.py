@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every paper table/figure has a benchmark that regenerates it (scaled).
+Campaign regeneration is inherently one-shot, so benchmarks run with
+``rounds=1`` via the ``regen`` helper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Benchmark a one-shot (campaign) regeneration function."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.gatelevel import FaultBatch, LogicSim, full_fault_list
+from repro.gatelevel.units import build_unit
+from repro.profiling import stimuli_from_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def decoder_unit():
+    return build_unit("decoder")
+
+
+@pytest.fixture(scope="module")
+def stimuli():
+    w = get_workload("gemm", scale="tiny")
+    return stimuli_from_program(w.program())
+
+
+class TestFaultPackingAblation:
+    """64-way bit-parallel fault simulation vs one-fault-at-a-time."""
+
+    N_FAULTS = 128
+
+    def _run_packed(self, unit, faults, inputs, words):
+        per_batch = 64 * words
+        outs = []
+        for i in range(0, len(faults), per_batch):
+            sim = LogicSim(unit.netlist, num_words=words)
+            sim.set_faults(FaultBatch(faults[i:i + per_batch],
+                                      num_words=words))
+            for inp in inputs:
+                out = sim.cycle(inp)
+            outs.append(out)
+        return outs
+
+    def test_bench_parallel_packed(self, benchmark, decoder_unit, stimuli):
+        faults = full_fault_list(decoder_unit.netlist)[: self.N_FAULTS]
+        inputs = decoder_unit.transaction(stimuli[0])
+        benchmark(self._run_packed, decoder_unit, faults, inputs, 2)
+
+    def test_bench_serial_single_fault(self, benchmark, decoder_unit,
+                                       stimuli):
+        faults = full_fault_list(decoder_unit.netlist)[: self.N_FAULTS]
+        inputs = decoder_unit.transaction(stimuli[0])
+
+        def serial():
+            for f in faults:
+                sim = LogicSim(decoder_unit.netlist, num_words=1)
+                sim.set_faults(FaultBatch([f], num_words=1))
+                for inp in inputs:
+                    sim.cycle(inp)
+
+        benchmark(serial)
+
+
+class TestWarpWideAblation:
+    """Warp-wide NumPy execution vs per-thread scalar emulation."""
+
+    def test_bench_warpwide_executor(self, benchmark):
+        from repro.gpusim import Device, DeviceConfig
+        from repro.workloads.base import default_launcher
+
+        w = get_workload("mxm", scale="tiny")
+        w.programs()
+
+        def run():
+            dev = Device(DeviceConfig(global_mem_words=1 << 18))
+            return w.run(dev, default_launcher(dev))
+
+        benchmark(run)
+
+    def test_bench_scalar_reference(self, benchmark):
+        # the per-element scalar evaluation a naive per-thread interpreter
+        # performs (python loop per thread per MAC)
+        w = get_workload("mxm", scale="tiny")
+        n = w.params["n"]
+        a, b = w.a, w.b
+
+        def scalar():
+            c = np.zeros((n, n), dtype=np.float32)
+            for i in range(n):
+                for j in range(n):
+                    acc = np.float32(0.0)
+                    for kk in range(n):
+                        acc = np.float32(a[i, kk] * b[kk, j] + acc)
+                    c[i, j] = acc
+            return c
+
+        out = benchmark(scalar)
+        np.testing.assert_array_equal(out.ravel(), w.reference().ravel())
+
+
+class TestSamplingConvergence:
+    """Sampled fault lists converge to the larger-sample rates."""
+
+    def test_bench_sampling_convergence(self, regen, stimuli):
+        def sweep():
+            rates = {}
+            for n in (128, 256, 512):
+                res = run_gate_campaign(
+                    CampaignConfig(unit="decoder", max_faults=n,
+                                   max_stimuli=12), stimuli)
+                rates[n] = res.category_rates()["sw_error"]
+            return rates
+
+        rates = regen(sweep)
+        # the estimator is stable within a few points across sample sizes
+        vals = list(rates.values())
+        assert max(vals) - min(vals) < 25.0

@@ -1,0 +1,13 @@
+"""Machine-checked paper-claims suite regeneration (EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import evaluate_claims
+
+
+def test_bench_claims_suite(regen):
+    suite = regen(evaluate_claims)
+    # the claims suite is the repository's definition of "reproduced":
+    # every headline shape of the paper must hold on a fresh run
+    failing = [c.claim_id for c in suite.claims if not c.holds]
+    assert suite.passed == suite.total, f"claims failing: {failing}"

@@ -1,0 +1,11 @@
+"""D1 — the two-level methodology's evaluation-time accounting."""
+
+from __future__ import annotations
+
+from repro.experiments import run_cost_model
+
+
+def test_bench_cost_model(regen):
+    report = regen(run_cost_model)
+    rows = {r["quantity"]: r["value"] for r in report.rows}
+    assert rows["speedup (orders of magnitude)"] > 100.0

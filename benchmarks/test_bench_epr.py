@@ -1,0 +1,40 @@
+"""F10/F11 — software-level EPR campaign regeneration."""
+
+from __future__ import annotations
+
+from repro.errormodels.models import ErrorModel
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+
+
+def test_bench_fig10_epr_per_app(regen):
+    cfg = SwCampaignConfig(apps=("vectoradd", "gemm", "bfs"),
+                           injections_per_model=6, scale="tiny")
+    res = regen(run_epr_campaign, cfg)
+    assert res.outcomes
+
+
+def test_bench_fig11_average_epr(regen):
+    cfg = SwCampaignConfig(
+        apps=("vectoradd", "mxm", "mergesort"),
+        models=(ErrorModel.IRA, ErrorModel.WV, ErrorModel.IAT,
+                ErrorModel.IMS),
+        injections_per_model=6, scale="tiny",
+    )
+    res = regen(run_epr_campaign, cfg)
+    avg = res.average_epr(ErrorModel.WV)
+    assert sum(avg.values()) > 0
+
+
+def test_bench_single_injection_cost(benchmark):
+    from repro.swinjector.campaign import _golden_bits, run_one_injection
+
+    cfg = SwCampaignConfig(apps=("gemm",), scale="tiny")
+    golden, dyn = _golden_bits("gemm", "tiny", cfg.seed, cfg.mem_words)
+    counter = iter(range(10_000))
+
+    def one():
+        return run_one_injection("gemm", ErrorModel.WV, next(counter), cfg,
+                                 golden, watchdog=10 * dyn + 10_000)
+
+    out = benchmark(one)
+    assert out.outcome in ("masked", "sdc", "due")

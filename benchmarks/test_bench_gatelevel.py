@@ -1,0 +1,44 @@
+"""T4/T5/F9/T6 — gate-level profiling + campaign regeneration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.gatelevel import netlist_area
+from repro.gatelevel.fpu import build_fp32_core
+from repro.gatelevel.units import build_unit
+from repro.profiling import profile_workloads, stimuli_from_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def stimuli():
+    w = get_workload("gemm", scale="tiny")
+    return stimuli_from_program(w.program())
+
+
+def test_bench_tab4_unit_synthesis(benchmark):
+    def build_all():
+        return [netlist_area(build_unit(u).netlist)
+                for u in ("wsc", "fetch", "decoder")] + \
+            [netlist_area(build_fp32_core())]
+
+    areas = benchmark(build_all)
+    assert all(a > 0 for a in areas)
+
+
+def test_bench_tab4_profiling(regen):
+    wls = [get_workload(n, scale="tiny")
+           for n in ("vector_add", "reduction", "sort")]
+    prof = regen(profile_workloads, wls, max_stimuli_per_workload=24)
+    assert prof.total_dynamic > 0
+
+
+@pytest.mark.parametrize("unit", ["wsc", "fetch", "decoder"])
+def test_bench_tab5_fig9_tab6_campaign(regen, stimuli, unit):
+    res = regen(run_gate_campaign,
+                CampaignConfig(unit=unit, max_faults=512, max_stimuli=16),
+                stimuli)
+    assert res.total_faults == 512
+    assert res.faults_per_error()

@@ -1,0 +1,18 @@
+"""M1 — detection-coverage campaign regeneration (extension)."""
+
+from __future__ import annotations
+
+from repro.errormodels.models import ErrorModel
+from repro.mitigation import evaluate_detection
+
+
+def test_bench_cfc_coverage(regen):
+    rep = regen(evaluate_detection, app="vectoradd", detector="cfc",
+                models=(ErrorModel.WV, ErrorModel.IAT), injections=6)
+    assert rep.per_model
+
+
+def test_bench_dmr_coverage(regen):
+    rep = regen(evaluate_detection, app="vectoradd", detector="dmr",
+                models=(ErrorModel.IIO,), injections=6)
+    assert rep.per_model

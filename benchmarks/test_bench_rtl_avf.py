@@ -1,0 +1,37 @@
+"""F3/F4/F5 — RTL AVF + syndrome campaign regeneration."""
+
+from __future__ import annotations
+
+from repro.rtl import run_microbench_avf
+from repro.syndrome import fit_power_law
+
+
+def test_bench_fig3_avf_campaign(regen):
+    camp = regen(run_microbench_avf,
+                 benches=["IADD", "FADD", "FSIN", "GLD"],
+                 values_per_range=1, max_sites_per_module=50,
+                 input_ranges=("M",))
+    assert camp.rows
+
+
+def test_bench_fig4_fp_syndrome(regen):
+    camp = regen(run_microbench_avf, benches=["FADD", "FMUL"],
+                 values_per_range=1, max_sites_per_module=60,
+                 input_ranges=("S", "M", "L"))
+    syn = camp.syndrome("FADD", "pipeline", "M")
+    assert syn.size > 0
+
+
+def test_bench_fig5_int_syndrome(regen):
+    camp = regen(run_microbench_avf, benches=["IADD", "IMUL"],
+                 values_per_range=1, max_sites_per_module=60,
+                 input_ranges=("S", "M", "L"))
+    assert camp.syndrome("IADD", "pipeline", "M").size > 0
+
+
+def test_bench_eq1_power_law_fit(benchmark):
+    camp = run_microbench_avf(benches=["FMUL"], values_per_range=1,
+                              max_sites_per_module=80, input_ranges=("M",))
+    rel = camp.syndrome("FMUL", "fu_fp32", "M")
+    fit = benchmark(fit_power_law, rel)
+    assert fit.alpha > 1.0

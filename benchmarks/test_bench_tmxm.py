@@ -1,0 +1,26 @@
+"""F6/F7/T3/F8 — t-MxM campaign regeneration."""
+
+from __future__ import annotations
+
+from repro.rtl import run_tmxm_campaign
+from repro.syndrome import SpatialPattern
+
+
+def test_bench_fig6_tmxm_avf(regen):
+    res = regen(run_tmxm_campaign, values_per_type=1,
+                max_sites_per_module=80)
+    assert res.cells
+
+
+def test_bench_fig7_tab3_patterns(regen):
+    res = regen(run_tmxm_campaign, values_per_type=1,
+                max_sites_per_module=100, modules=("pipeline",))
+    dist = res.pattern_distribution("pipeline")
+    assert dist[SpatialPattern.ROW] > 0
+
+
+def test_bench_fig8_syndromes(regen):
+    res = regen(run_tmxm_campaign, values_per_type=1,
+                max_sites_per_module=100, modules=("pipeline",),
+                tile_types=("max",))
+    assert res.syndromes_by_pattern("pipeline", SpatialPattern.ROW)

@@ -1,0 +1,26 @@
+"""T1 — throughput of the 15 evaluation applications on the simulator.
+
+These are the baseline (fault-free) runs every campaign repeats thousands
+of times, so their cost is the denominator of the whole methodology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import Device, DeviceConfig
+from repro.workloads import EVALUATION_APPS, get_workload
+from repro.workloads.base import default_launcher
+
+
+@pytest.mark.parametrize("name", sorted(EVALUATION_APPS))
+def test_bench_golden_run(benchmark, name):
+    w = get_workload(name, scale="tiny")
+    w.programs()  # build outside the timed region
+
+    def run():
+        dev = Device(DeviceConfig(global_mem_words=1 << 20))
+        return w.run(dev, default_launcher(dev))
+
+    out = benchmark(run)
+    assert out.size > 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: write a kernel, run it, and inject a permanent error.
+
+Covers the three layers a user touches first:
+
+1. building a SASS-like kernel with :class:`repro.isa.KernelBuilder`;
+2. running it on the functional GPU simulator;
+3. attaching NVBitPERfi with an error descriptor and observing the
+   corrupted output (a Work-flow Violation in this demo).
+"""
+
+import numpy as np
+
+from repro.errormodels import ErrorDescriptor, ErrorModel
+from repro.gpusim import Device, DeviceConfig
+from repro.isa import CmpOp, KernelBuilder
+from repro.swinjector import NVBitPERfi
+from repro.workloads.kutil import elem_addr, global_tid_x, guard_exit_ge
+
+
+def build_saxpy():
+    """y[i] = a*x[i] + y[i] for i < n."""
+    k = KernelBuilder("saxpy", nregs=24)
+    g = global_tid_x(k)
+    n = k.load_param(0)
+    guard_exit_ge(k, g, n)
+    a = k.load_param(1)
+    x_ptr = k.load_param(2)
+    y_ptr = k.load_param(3)
+    xv = k.reg()
+    k.gld(xv, elem_addr(k, x_ptr, g))
+    yaddr = elem_addr(k, y_ptr, g)
+    yv = k.reg()
+    k.gld(yv, yaddr)
+    k.ffma(yv, xv, a, yv)
+    k.gst(yaddr, yv)
+    k.exit()
+    return k.build()
+
+
+def main() -> None:
+    n = 64
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=n).astype(np.float32)
+    y = rng.normal(size=n).astype(np.float32)
+    program = build_saxpy()
+    print(program.listing()[:400], "...\n")
+
+    # golden run ---------------------------------------------------------
+    dev = Device(DeviceConfig())
+    px, py = dev.alloc_array(x), dev.alloc_array(y)
+    dev.launch(program, grid=1, block=n, params=[n, 2.0, px, py])
+    golden = dev.read(py, n, np.float32)
+    np.testing.assert_allclose(golden, 2.0 * x + y, rtol=1e-6)
+    print("golden run matches 2*x + y")
+
+    # faulty run: flip every written predicate on SM0/subpartition 0 ------
+    desc = ErrorDescriptor(model=ErrorModel.WV, sm_id=0, subpartition=0,
+                           bit_err_mask=1)
+    tool = NVBitPERfi(desc)
+    dev = Device(DeviceConfig())
+    px, py = dev.alloc_array(x), dev.alloc_array(y)
+    dev.launch(program, grid=1, block=n, params=[n, 2.0, px, py],
+               instrumentation=tool)
+    faulty = dev.read(py, n, np.float32)
+
+    corrupted = np.nonzero(faulty != golden)[0]
+    print(f"WV injection activated {tool.activations} times; "
+          f"{len(corrupted)}/{n} outputs corrupted")
+    print("first corrupted elements:", corrupted[:8].tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's two-level flow, end to end, on one unit.
+
+Step 1  profile workloads on the functional simulator (exciting patterns);
+Step 2  exhaustive-sampled stuck-at campaign on the gate-level decoder;
+Step 3  classify faults into Table-5 categories and the 13 error models;
+Step 4+5  propagate two of the dominant models through a real application
+          with NVBitPERfi and report the EPR.
+"""
+
+from repro.errormodels.models import ErrorModel
+from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.profiling import profile_workloads
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # 1. hardware-unit profiling
+    workloads = [get_workload(n, scale="tiny")
+                 for n in ("vector_add", "naive_mxm", "reduction", "sort")]
+    prof = profile_workloads(workloads, max_stimuli_per_workload=24)
+    print(f"profiled {prof.total_dynamic} dynamic instructions -> "
+          f"{len(prof.stimuli)} exciting patterns")
+
+    # 2+3. gate-level fault injection and classification
+    res = run_gate_campaign(
+        CampaignConfig(unit="decoder", max_faults=768, max_stimuli=32),
+        prof.stimuli,
+    )
+    rates = res.category_rates()
+    print(f"\ndecoder stuck-at campaign over {res.total_faults} faults:")
+    for cat in ("uncontrollable", "masked", "hang", "sw_error"):
+        print(f"  {cat:>15s}: {rates[cat]:5.1f}%")
+    print("  error models (FAPR):")
+    for model, pct in sorted(res.fapr().items(), key=lambda kv: -kv[1]):
+        print(f"    {model.value:5s} {pct:5.2f}%")
+
+    # 4+5. software-level propagation of two dominant models
+    cfg = SwCampaignConfig(apps=("gemm",), injections_per_model=12,
+                           scale="tiny",
+                           models=(ErrorModel.IOC, ErrorModel.IMS))
+    epr = run_epr_campaign(cfg)
+    print("\nsoftware-level propagation on gemm:")
+    for model in cfg.models:
+        e = epr.epr("gemm", model)
+        print(f"  {model.value:4s} masked={e['masked']:5.1f}%  "
+              f"sdc={e['sdc']:5.1f}%  due={e['due']:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Report formatting and metric helpers shared by the experiments."""
+
+from repro.analysis.tables import ExperimentReport, format_table
+
+__all__ = ["ExperimentReport", "format_table"]

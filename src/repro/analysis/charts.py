@@ -1,0 +1,58 @@
+"""ASCII bar charts for figure-style experiment output.
+
+The paper's figures are stacked-bar charts (Masked/SDC/DUE per model, AVF
+per instruction). These helpers render the same series as fixed-width
+text so ``python -m repro.experiments`` output reads like the figures.
+"""
+
+from __future__ import annotations
+
+
+def hbar(value: float, vmax: float, width: int = 40, fill: str = "#") -> str:
+    """One horizontal bar scaled to *vmax*."""
+    if vmax <= 0:
+        return ""
+    n = int(round(width * max(0.0, min(value, vmax)) / vmax))
+    return fill * n
+
+
+def bar_chart(items: list[tuple[str, float]], width: int = 40,
+              unit: str = "%") -> str:
+    """Labelled horizontal bar chart."""
+    if not items:
+        return "(empty)"
+    vmax = max(v for _, v in items) or 1.0
+    label_w = max(len(k) for k, _ in items)
+    lines = []
+    for k, v in items:
+        lines.append(f"{k.ljust(label_w)}  {hbar(v, vmax, width)} "
+                     f"{v:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar(parts: dict[str, float], width: int = 50,
+                glyphs: str = "#=.") -> str:
+    """One 100%-stacked bar: e.g. {'sdc': 30, 'due': 50, 'masked': 20}."""
+    total = sum(parts.values()) or 1.0
+    out = []
+    used = 0
+    keys = list(parts)
+    for i, k in enumerate(keys):
+        n = int(round(width * parts[k] / total))
+        if i == len(keys) - 1:
+            n = width - used
+        used += n
+        out.append(glyphs[i % len(glyphs)] * n)
+    legend = " ".join(f"{glyphs[i % len(glyphs)]}={k}"
+                      for i, k in enumerate(keys))
+    return f"[{''.join(out)}] {legend}"
+
+
+def stacked_chart(rows: list[tuple[str, dict[str, float]]],
+                  width: int = 50) -> str:
+    """Stacked bars per row label (Fig 10/11 style)."""
+    if not rows:
+        return "(empty)"
+    label_w = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k.ljust(label_w)}  {stacked_bar(v, width)}"
+                     for k, v in rows)

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return "(empty)"
+    columns = columns or list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(columns)]
+    head = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                     for row in cells)
+    return f"{head}\n{sep}\n{body}"
+
+
+@dataclass
+class ExperimentReport:
+    """Result of regenerating one paper table or figure."""
+
+    experiment_id: str           # e.g. "T5", "F10"
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    columns: list[str] | None = None
+    paper_expectation: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment_id}: {self.title} =="]
+        out.append(format_table(self.rows, self.columns))
+        if self.paper_expectation:
+            out.append(f"paper: {self.paper_expectation}")
+        out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)

@@ -1,0 +1,58 @@
+"""Shared utilities: bit manipulation, seeded RNG, configuration, exceptions.
+
+Everything in :mod:`repro` that needs deterministic randomness derives it
+from :func:`repro.common.rng.make_rng`, and every error condition that maps
+onto a paper-level outcome (DUE, hang, ...) is raised through the exception
+hierarchy in :mod:`repro.common.exceptions`.
+"""
+
+from repro.common.exceptions import (
+    ReproError,
+    DeviceError,
+    IllegalInstructionError,
+    InvalidRegisterError,
+    MemoryFaultError,
+    BarrierDeadlockError,
+    WatchdogTimeoutError,
+    ConfigError,
+    NetlistError,
+)
+from repro.common.bitops import (
+    bit,
+    get_bit,
+    set_bit,
+    clear_bit,
+    flip_bit,
+    mask,
+    extract_field,
+    insert_field,
+    popcount,
+    float_to_bits,
+    bits_to_float,
+)
+from repro.common.rng import make_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "DeviceError",
+    "IllegalInstructionError",
+    "InvalidRegisterError",
+    "MemoryFaultError",
+    "BarrierDeadlockError",
+    "WatchdogTimeoutError",
+    "ConfigError",
+    "NetlistError",
+    "bit",
+    "get_bit",
+    "set_bit",
+    "clear_bit",
+    "flip_bit",
+    "mask",
+    "extract_field",
+    "insert_field",
+    "popcount",
+    "float_to_bits",
+    "bits_to_float",
+    "make_rng",
+    "derive_seed",
+]

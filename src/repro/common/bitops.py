@@ -1,0 +1,111 @@
+"""Bit-level helpers used by the ISA encoder, the gate-level simulator and
+the error-model bit masks.
+
+All helpers operate on Python ints (arbitrary precision) unless stated
+otherwise; the NumPy fast paths used inside the simulators live next to the
+simulators themselves.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+
+def bit(i: int) -> int:
+    """Return an int with only bit *i* set."""
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return 1 << i
+
+
+def get_bit(value: int, i: int) -> int:
+    """Return bit *i* of *value* (0 or 1)."""
+    return (value >> i) & 1
+
+
+def set_bit(value: int, i: int) -> int:
+    """Return *value* with bit *i* set."""
+    return value | bit(i)
+
+
+def clear_bit(value: int, i: int) -> int:
+    """Return *value* with bit *i* cleared."""
+    return value & ~bit(i)
+
+
+def flip_bit(value: int, i: int) -> int:
+    """Return *value* with bit *i* inverted."""
+    return value ^ bit(i)
+
+
+def mask(width: int) -> int:
+    """Return a mask of *width* ones (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def extract_field(word: int, lsb: int, width: int) -> int:
+    """Extract a *width*-bit field starting at bit *lsb* from *word*."""
+    return (word >> lsb) & mask(width)
+
+
+def insert_field(word: int, lsb: int, width: int, value: int) -> int:
+    """Return *word* with the *width*-bit field at *lsb* replaced by *value*.
+
+    *value* is truncated to *width* bits.
+    """
+    m = mask(width)
+    return (word & ~(m << lsb)) | ((value & m) << lsb)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative int."""
+    if value < 0:
+        raise ValueError("popcount of a negative value is undefined here")
+    return value.bit_count()
+
+
+def float_to_bits(x: float) -> int:
+    """Bit pattern of the IEEE-754 binary32 representation of *x*."""
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def bits_to_float(b: int) -> float:
+    """The float32 whose IEEE-754 bit pattern is *b* (low 32 bits)."""
+    return struct.unpack("<f", struct.pack("<I", b & 0xFFFFFFFF))[0]
+
+
+def u32(x: int) -> int:
+    """Truncate an int to an unsigned 32-bit value."""
+    return x & 0xFFFFFFFF
+
+
+def s32(x: int) -> int:
+    """Interpret the low 32 bits of *x* as a signed 32-bit value."""
+    x &= 0xFFFFFFFF
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def as_f32(arr: np.ndarray) -> np.ndarray:
+    """View a uint32 array as float32 without copying."""
+    return arr.view(np.float32)
+
+
+def as_u32(arr: np.ndarray) -> np.ndarray:
+    """View a float32/int32 array as uint32 without copying."""
+    return arr.view(np.uint32)
+
+
+def bits_set(value: int) -> list[int]:
+    """Indices of the set bits of *value*, ascending."""
+    out = []
+    i = 0
+    while value:
+        if value & 1:
+            out.append(i)
+        value >>= 1
+        i += 1
+    return out

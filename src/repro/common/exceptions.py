@@ -1,0 +1,75 @@
+"""Exception hierarchy for the reproduction library.
+
+The simulator-level exceptions (:class:`DeviceError` subclasses) correspond to
+the conditions a real GPU reports as *Detected Unrecoverable Errors* (DUE) in
+the paper's outcome taxonomy: illegal instructions, invalid register
+addressing, bad memory accesses, barrier deadlocks, and hangs caught by the
+watchdog.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AssemblerError(ReproError):
+    """The kernel builder / assembler was used incorrectly."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist was malformed (cycles, bad fanin, ...)."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU runtime errors.
+
+    Any :class:`DeviceError` escaping a kernel launch is classified as a DUE
+    by the fault-injection campaigns.
+    """
+
+    #: short machine-readable reason used in campaign reports
+    reason: str = "device-error"
+
+
+class IllegalInstructionError(DeviceError):
+    """An invalid opcode reached the execution stage (paper: IVOC errors)."""
+
+    reason = "illegal-instruction"
+
+
+class InvalidRegisterError(DeviceError):
+    """A register index outside the per-thread allocation was addressed."""
+
+    reason = "invalid-register"
+
+
+class MemoryFaultError(DeviceError):
+    """An out-of-bounds or misaligned global/shared/constant access."""
+
+    reason = "memory-fault"
+
+
+class BarrierDeadlockError(DeviceError):
+    """Not all resident warps of a CTA reached a barrier."""
+
+    reason = "barrier-deadlock"
+
+
+class WatchdogTimeoutError(DeviceError):
+    """The kernel exceeded its dynamic-instruction budget (hang)."""
+
+    reason = "watchdog-timeout"
+
+
+class ControlFlowCorruptionError(DeviceError):
+    """A branch the compiler proved warp-uniform diverged (only possible
+    under fault injection): the SIMT stack has no reconvergence point, the
+    machine's control flow has collapsed."""
+
+    reason = "control-flow-corruption"

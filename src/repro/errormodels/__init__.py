@@ -1,0 +1,23 @@
+"""The 13 instruction-level permanent error models (paper §4.3).
+
+Four groups: Operation, Control-flow, Parallel management and Resource
+management errors, refined into 13 categories (IOC, IVOC, IRA, IVRA, IIO,
+WV, IPP, IAT, IAW, IAC, IAL, IMS, IMD). :mod:`repro.errormodels.classify`
+maps gate-level output-bus corruptions onto these categories;
+:mod:`repro.errormodels.fapr` aggregates campaign results into the FAPR
+figure (Fig 9) and the per-error AVF table (Table 6).
+"""
+
+from repro.errormodels.models import ErrorModel, ErrorGroup, GROUP_OF, MODELS_BY_GROUP
+from repro.errormodels.classify import classify_output_diff, instruction_field_usage
+from repro.errormodels.descriptor import ErrorDescriptor
+
+__all__ = [
+    "ErrorModel",
+    "ErrorGroup",
+    "GROUP_OF",
+    "MODELS_BY_GROUP",
+    "classify_output_diff",
+    "instruction_field_usage",
+    "ErrorDescriptor",
+]

@@ -1,0 +1,73 @@
+"""Error descriptors: the link between a hardware defect and the software
+locations it corrupts (paper §3.4).
+
+A descriptor pins the *physical* coordinates (SM, sub-partition, warp
+slots, threads) plus the model-specific parameters (bit mask, operand
+position, replacement opcode). NVBitPERfi instantiates its instrumentation
+functions from a descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.exceptions import ConfigError
+from repro.errormodels.models import ErrorModel
+from repro.isa.opcodes import Op
+
+
+@dataclass(frozen=True)
+class ErrorDescriptor:
+    """Where and how a permanent error takes effect.
+
+    Attributes
+    ----------
+    model:
+        The error model to inject.
+    sm_id / subpartition:
+        The SM and PPB hosting the faulty hardware.
+    warp_slots:
+        Resident-warp slots of that sub-partition affected by the fault
+        (frozenset; empty means every slot — a fault in logic shared by
+        the whole sub-partition).
+    thread_mask:
+        32-bit mask of the affected threads within a victim warp.
+    bit_err_mask:
+        Bit-level corruption mask (register-index bits for IRA/IVRA, data
+        bits for IIO/IMS/IMD/WV/IAT/IAW/IAC).
+    err_oper_loc:
+        Operand position for IRA/IVRA: 0 = destination, 1..3 = sources.
+    replacement_op:
+        Substitute opcode for IOC.
+    lane:
+        Victim lane (0..7) for IAL.
+    lane_enable_mode:
+        "disable" or "enable" for IAL.
+    """
+
+    model: ErrorModel
+    sm_id: int = 0
+    subpartition: int = 0
+    warp_slots: frozenset[int] = frozenset()
+    thread_mask: int = 0xFFFFFFFF
+    bit_err_mask: int = 0x1
+    err_oper_loc: int = 0
+    replacement_op: Op | None = None
+    lane: int = 0
+    lane_enable_mode: str = "disable"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.err_oper_loc <= 3:
+            raise ConfigError("err_oper_loc must be 0..3")
+        if self.lane_enable_mode not in ("disable", "enable"):
+            raise ConfigError("lane_enable_mode must be disable|enable")
+        if not 0 <= self.lane < 8:
+            raise ConfigError("lane must be 0..7")
+        if self.model is ErrorModel.IOC and self.replacement_op is None:
+            raise ConfigError("IOC requires a replacement_op")
+
+    def matches_warp(self, sm_id: int, subpartition: int, warp_slot: int) -> bool:
+        """Does a warp at these coordinates run on the faulty hardware?"""
+        if sm_id != self.sm_id or subpartition != self.subpartition:
+            return False
+        return not self.warp_slots or warp_slot in self.warp_slots

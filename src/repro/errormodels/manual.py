@@ -1,0 +1,76 @@
+"""Error-model reference generator (docs/ERROR_MODELS.md).
+
+Like :mod:`repro.isa.manual`, the documentation is generated from the
+implementation: model taxonomy from :mod:`repro.errormodels.models`,
+injection semantics from the injector docstrings.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errormodels.models import (
+    ErrorGroup,
+    ErrorModel,
+    GROUP_OF,
+    MODELS_BY_GROUP,
+    SW_INJECTABLE,
+)
+
+_FULL_NAMES: dict[ErrorModel, str] = {
+    ErrorModel.IOC: "Incorrect Operation Code",
+    ErrorModel.IVOC: "Invalid Operation Code",
+    ErrorModel.IRA: "Incorrect Register Addressed",
+    ErrorModel.IVRA: "Invalid Register Addressed",
+    ErrorModel.IIO: "Incorrect Immediate Operand",
+    ErrorModel.WV: "Work-flow Violation",
+    ErrorModel.IPP: "Incorrect Parallel Parameter",
+    ErrorModel.IAT: "Incorrect Active Thread",
+    ErrorModel.IAW: "Incorrect Active Warp",
+    ErrorModel.IAC: "Incorrect Active CTA",
+    ErrorModel.IAL: "Incorrect Active Lane",
+    ErrorModel.IMS: "Incorrect Memory Source",
+    ErrorModel.IMD: "Incorrect Memory Destination",
+}
+
+
+def _injector_doc(model: ErrorModel) -> str:
+    from repro.swinjector.instrumentation import INJECTOR_CLASSES
+
+    cls = INJECTOR_CLASSES.get(model)
+    if cls is None:
+        return "(not software-injectable)"
+    doc = inspect.getdoc(cls) or ""
+    return " ".join(doc.split())
+
+
+def error_models_manual() -> str:
+    """Render the 13-model reference as Markdown."""
+    out = ["# The 13 instruction-level permanent error models", ""]
+    out.append("Identified by the gate-level campaigns on the WSC, fetch "
+               "and decoder units (paper §4.3) and propagated in software "
+               "by NVBitPERfi (paper §5.1).")
+    out.append("")
+    for group in ErrorGroup:
+        out.append(f"## {group.value} errors")
+        out.append("")
+        for model in MODELS_BY_GROUP[group]:
+            sw = "yes" if model in SW_INJECTABLE else \
+                ("delegated" if model is ErrorModel.IPP else
+                 "deterministic DUE")
+            out.append(f"### {model.value} — {_FULL_NAMES[model]}")
+            out.append("")
+            out.append(f"*Group:* {GROUP_OF[model].value}. "
+                       f"*Directly evaluated in software (Fig 10):* {sw}.")
+            out.append("")
+            out.append(_injector_doc(model))
+            out.append("")
+    return "\n".join(out)
+
+
+def write_manual(path: str = "docs/ERROR_MODELS.md") -> None:  # pragma: no cover
+    from pathlib import Path
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(error_models_manual())

@@ -1,0 +1,63 @@
+"""Error model and group enumerations."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorModel(enum.Enum):
+    """The 13 instruction-level error models."""
+
+    # Operation errors
+    IOC = "IOC"     # Incorrect Operation Code
+    IVOC = "IVOC"   # Invalid Operation Code
+    IRA = "IRA"     # Incorrect Register Addressed
+    IVRA = "IVRA"   # Invalid Register Addressed
+    IIO = "IIO"     # Incorrect Immediate Operand
+    # Control-flow errors
+    WV = "WV"       # Work-flow Violation
+    # Parallel management errors
+    IPP = "IPP"     # Incorrect Parallel Parameter
+    IAT = "IAT"     # Incorrect Active Thread
+    IAW = "IAW"     # Incorrect Active Warp
+    IAC = "IAC"     # Incorrect Active CTA
+    # Resource management errors
+    IAL = "IAL"     # Incorrect Active Lane
+    IMS = "IMS"     # Incorrect Memory Source
+    IMD = "IMD"     # Incorrect Memory Destination
+
+
+class ErrorGroup(enum.Enum):
+    OPERATION = "Operation"
+    CONTROL_FLOW = "Control-flow"
+    PARALLEL_MGMT = "Parallel management"
+    RESOURCE_MGMT = "Resource management"
+
+
+GROUP_OF: dict[ErrorModel, ErrorGroup] = {
+    ErrorModel.IOC: ErrorGroup.OPERATION,
+    ErrorModel.IVOC: ErrorGroup.OPERATION,
+    ErrorModel.IRA: ErrorGroup.OPERATION,
+    ErrorModel.IVRA: ErrorGroup.OPERATION,
+    ErrorModel.IIO: ErrorGroup.OPERATION,
+    ErrorModel.WV: ErrorGroup.CONTROL_FLOW,
+    ErrorModel.IPP: ErrorGroup.PARALLEL_MGMT,
+    ErrorModel.IAT: ErrorGroup.PARALLEL_MGMT,
+    ErrorModel.IAW: ErrorGroup.PARALLEL_MGMT,
+    ErrorModel.IAC: ErrorGroup.PARALLEL_MGMT,
+    ErrorModel.IAL: ErrorGroup.RESOURCE_MGMT,
+    ErrorModel.IMS: ErrorGroup.RESOURCE_MGMT,
+    ErrorModel.IMD: ErrorGroup.RESOURCE_MGMT,
+}
+
+MODELS_BY_GROUP: dict[ErrorGroup, list[ErrorModel]] = {}
+for _m, _g in GROUP_OF.items():
+    MODELS_BY_GROUP.setdefault(_g, []).append(_m)
+
+#: the 11 models injectable in software (IPP is represented by the other
+#: models; IVOC is deterministic DUE) — the paper's Fig 10 set
+SW_INJECTABLE: list[ErrorModel] = [
+    ErrorModel.IOC, ErrorModel.IRA, ErrorModel.IVRA, ErrorModel.IIO,
+    ErrorModel.WV, ErrorModel.IAT, ErrorModel.IAW, ErrorModel.IAC,
+    ErrorModel.IAL, ErrorModel.IMS, ErrorModel.IMD,
+]

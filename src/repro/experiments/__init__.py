@@ -1,0 +1,75 @@
+"""Per-table/figure reproduction drivers.
+
+Every artifact of the paper's evaluation has a ``run_*`` function here
+that regenerates its rows/series and returns an
+:class:`~repro.analysis.tables.ExperimentReport` with the paper's expected
+shape stated next to the measured values. ``python -m repro.experiments``
+runs them all and prints the consolidated report.
+
+| id  | artifact                                         | function |
+|-----|--------------------------------------------------|----------|
+| T1  | Table 1 workload list                            | :func:`run_tab_apps` |
+| F3  | Fig 3 RTL AVF per instruction                    | :func:`run_fig_avf` |
+| F4  | Fig 4 FP syndrome distributions                  | :func:`run_fig_syndrome_fp` |
+| F5  | Fig 5 INT syndrome distributions                 | :func:`run_fig_syndrome_int` |
+| F6  | Fig 6 t-MxM AVF                                  | :func:`run_fig_tmxm_avf` |
+| F7  | Fig 7 spatial patterns                           | :func:`run_fig_tmxm_patterns` |
+| T3  | Table 3 pattern distribution                     | :func:`run_tab_tmxm_patterns` |
+| F8  | Fig 8 per-element syndrome variance              | :func:`run_fig_tmxm_syndrome` |
+| T4  | Table 4 unit area & utilization                  | :func:`run_tab_area` |
+| T5  | Table 5 fault classification per unit            | :func:`run_tab_hw_fault_rate` |
+| F9  | Fig 9 FAPR per error model                       | :func:`run_fig_fapr` |
+| T6  | Table 6 per-error AVF                            | :func:`run_tab_error_avf` |
+| F10 | Fig 10 EPR per app and model                     | :func:`run_fig_epr` |
+| F11 | Fig 11 average EPR per model                     | :func:`run_fig_avg_epr` |
+| D1  | evaluation-time accounting                       | :func:`run_cost_model` |
+| M1  | detection-coverage extension (paper §5.3)        | :func:`run_mitigation_study` |
+| S1  | descriptor-parameter sensitivity (extension)     | :func:`run_sensitivity_study` |
+"""
+
+from repro.experiments.tab_apps import run_tab_apps
+from repro.experiments.rtl_experiments import (
+    run_fig_avf,
+    run_fig_syndrome_fp,
+    run_fig_syndrome_int,
+    run_input_dependence,
+)
+from repro.experiments.tmxm_experiments import (
+    run_fig_tmxm_avf,
+    run_fig_tmxm_patterns,
+    run_fig_tmxm_syndrome,
+    run_tab_tmxm_patterns,
+)
+from repro.experiments.gate_experiments import (
+    run_fig_fapr,
+    run_tab_area,
+    run_tab_error_avf,
+    run_tab_hw_fault_rate,
+)
+from repro.experiments.epr_experiments import run_fig_avg_epr, run_fig_epr
+from repro.experiments.cost_model import run_cost_model
+from repro.experiments.mitigation_experiment import run_mitigation_study
+from repro.experiments.sensitivity import run_sensitivity_study
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "run_tab_apps",
+    "run_fig_avf",
+    "run_fig_syndrome_fp",
+    "run_fig_syndrome_int",
+    "run_input_dependence",
+    "run_fig_tmxm_avf",
+    "run_fig_tmxm_patterns",
+    "run_tab_tmxm_patterns",
+    "run_fig_tmxm_syndrome",
+    "run_tab_area",
+    "run_tab_hw_fault_rate",
+    "run_fig_fapr",
+    "run_tab_error_avf",
+    "run_fig_epr",
+    "run_fig_avg_epr",
+    "run_cost_model",
+    "run_mitigation_study",
+    "run_sensitivity_study",
+    "run_all",
+]

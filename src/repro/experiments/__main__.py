@@ -1,0 +1,41 @@
+"""CLI: ``python -m repro.experiments [--full] [--processes N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import render_all, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="larger campaigns (slower, tighter statistics)")
+    parser.add_argument("--preset", choices=["tiny", "small", "paper"],
+                        default=None,
+                        help="campaign-scale preset (overrides --full)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="worker processes for the campaigns")
+    parser.add_argument("--output", type=str, default=None,
+                        help="write the report to this file as well")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    reports = run_all(fast=not args.full, processes=args.processes,
+                      preset=args.preset)
+    text = render_all(reports)
+    text += f"\n\n(total wall time: {time.perf_counter() - t0:.1f}s)\n"
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

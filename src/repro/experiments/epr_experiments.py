@@ -1,0 +1,83 @@
+"""F10/F11 — software-level Error Propagation Rates (NVBitPERfi)."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.analysis import ExperimentReport
+from repro.errormodels.models import GROUP_OF
+from repro.swinjector import EprResult, SwCampaignConfig, run_epr_campaign
+from repro.workloads.registry import EVALUATION_APPS
+
+
+@functools.lru_cache(maxsize=4)
+def _campaign(injections: int, scale: str, apps: tuple[str, ...],
+              processes: int = 1) -> EprResult:
+    cfg = SwCampaignConfig(apps=apps, injections_per_model=injections,
+                           scale=scale, processes=processes)
+    return run_epr_campaign(cfg)
+
+
+def run_fig_epr(injections: int = 12, scale: str = "tiny",
+                apps: tuple[str, ...] | None = None,
+                processes: int = 1) -> ExperimentReport:
+    """Fig 10: EPR (Masked/SDC/DUE) per error model per application."""
+    apps = apps or tuple(EVALUATION_APPS)
+    res = _campaign(injections, scale, apps, processes)
+    rows = []
+    for app in apps:
+        for model in res.config.models:
+            e = res.epr(app, model)
+            rows.append({
+                "app": app,
+                "model": model.value,
+                "group": GROUP_OF[model].value,
+                "masked_%": e["masked"],
+                "sdc_%": e["sdc"],
+                "due_%": e["due"],
+            })
+    return ExperimentReport(
+        experiment_id="F10",
+        title="Error Propagation Rate per error model per application",
+        rows=rows,
+        paper_expectation="average EPR 84.2%; compute-intensive and "
+        "many-kernel apps (yolov3, lava, lenet, bfs, mergesort, quicksort) "
+        "close to 100% EPR; IMD fully masked for apps without shared "
+        "memory (vectoradd, gaussian, bfs, cfd)",
+        notes=[f"overall EPR (non-masked) = {res.overall_epr():.1f}%"],
+    )
+
+
+def run_fig_avg_epr(injections: int = 12, scale: str = "tiny",
+                    apps: tuple[str, ...] | None = None,
+                    processes: int = 1) -> ExperimentReport:
+    """Fig 11: EPR averaged over the applications."""
+    from repro.analysis.charts import stacked_chart
+
+    apps = apps or tuple(EVALUATION_APPS)
+    res = _campaign(injections, scale, apps, processes)
+    rows = []
+    chart_rows = []
+    for model in res.config.models:
+        avg = res.average_epr(model)
+        rows.append({
+            "model": model.value,
+            "group": GROUP_OF[model].value,
+            "masked_%": avg["masked"],
+            "sdc_%": avg["sdc"],
+            "due_%": avg["due"],
+        })
+        chart_rows.append((model.value, {"sdc": avg["sdc"],
+                                         "due": avg["due"],
+                                         "masked": avg["masked"]}))
+    chart = "\n" + stacked_chart(chart_rows)
+    return ExperimentReport(
+        experiment_id="F11",
+        title="Average Error Propagation Rate among the applications",
+        rows=rows,
+        paper_expectation="Operation errors mostly DUE (IOC 87%, IRA 90%, "
+        "IVRA 95%, IIO 92%); WV/IAT/IAW mostly SDC (38%/61%/54%); IAC the "
+        "one parallel-management model with DUE>SDC; resource management "
+        "mixed with ~20% SDCs",
+        notes=[chart],
+    )

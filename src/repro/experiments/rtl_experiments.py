@@ -1,0 +1,154 @@
+"""F3/F4/F5 — RTL AVF per instruction and fault-syndrome distributions."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.analysis import ExperimentReport
+from repro.common.exceptions import ConfigError
+from repro.rtl import run_microbench_avf
+from repro.rtl.avf import MicrobenchAvfCampaign
+from repro.syndrome import fit_power_law, log_histogram, syndrome_summary
+from repro.workloads.microbench import ARITH_FP, ARITH_INT, SFU_OPS
+
+
+@functools.lru_cache(maxsize=4)
+def _campaign(max_sites: int, values_per_range: int) -> MicrobenchAvfCampaign:
+    return run_microbench_avf(max_sites_per_module=max_sites,
+                              values_per_range=values_per_range)
+
+
+def run_fig_avf(max_sites: int = 100,
+                values_per_range: int = 2) -> ExperimentReport:
+    """Fig 3: AVF of FU/scheduler/pipeline per instruction (avg S/M/L)."""
+    camp = _campaign(max_sites, values_per_range)
+    rows = []
+    seen = {(r.bench, r.module) for r in camp.rows}
+    for bench, module in sorted(seen):
+        agg = camp.row(module, bench)
+        rows.append({
+            "instr": bench,
+            "module": module,
+            "avf_sdc_single_%": agg.avf_sdc_single,
+            "avf_sdc_multi_%": agg.avf_sdc_multi,
+            "avf_due_%": agg.avf_due,
+            "mean_threads": agg.mean_corrupted_threads,
+        })
+    return ExperimentReport(
+        experiment_id="F3",
+        title="AVF of RTL injections per instruction (avg over S/M/L)",
+        rows=rows,
+        paper_expectation="scheduler AVF below FU/pipeline on these "
+        "micro-benchmarks; FP32 FU AVF below INT; SFU and scheduler SDCs "
+        "multi-thread, INT/FP32 FU SDCs ~1 thread; pipeline shows DUEs "
+        "(control registers)",
+    )
+
+
+def _syndrome_report(exp_id: str, benches: tuple[str, ...],
+                     kind: str, max_sites: int,
+                     values_per_range: int) -> ExperimentReport:
+    camp = _campaign(max_sites, values_per_range)
+    rows = []
+    gaussian_count = 0
+    total = 0
+    for bench in benches:
+        for module in ("fu_int" if kind == "int" else "fu_fp32",
+                       "pipeline", "scheduler"):
+            for rng_name in ("S", "M", "L"):
+                rel = camp.syndrome(bench, module, rng_name)
+                if rel.size < 10:
+                    continue
+                total += 1
+                summary = syndrome_summary(rel)
+                if summary.gaussian:
+                    gaussian_count += 1
+                hist = log_histogram(rel)
+                peak = max(hist, key=hist.get)
+                try:
+                    fit = fit_power_law(rel)
+                    alpha = round(fit.alpha, 2)
+                except ConfigError:
+                    alpha = float("nan")
+                rows.append({
+                    "instr": bench,
+                    "module": module,
+                    "range": rng_name,
+                    "n": summary.n,
+                    "median_rel_err": summary.median,
+                    "peak_decade": peak,
+                    ">100x_%": 100.0 * summary.frac_above_100,
+                    "alpha": alpha,
+                    "gaussian": summary.gaussian,
+                })
+    return ExperimentReport(
+        experiment_id=exp_id,
+        title=f"Fault syndrome (relative error) distributions — {kind}",
+        rows=rows,
+        paper_expectation="non-Gaussian (Shapiro-Wilk rejects everywhere), "
+        "narrow peaked distributions, <~0.05% of SDCs above 100x relative "
+        "error, power-law-like tails (Eq. 1)",
+        notes=[f"{gaussian_count}/{total} datasets fail to reject "
+               f"normality (paper: 0)"],
+    )
+
+
+def run_fig_syndrome_fp(max_sites: int = 100,
+                        values_per_range: int = 2) -> ExperimentReport:
+    """Fig 4: FP instruction syndromes per injection site and range."""
+    return _syndrome_report("F4", ARITH_FP + SFU_OPS, "fp", max_sites,
+                            values_per_range)
+
+
+def run_fig_syndrome_int(max_sites: int = 100,
+                         values_per_range: int = 2) -> ExperimentReport:
+    """Fig 5: INT instruction syndromes per injection site and range."""
+    return _syndrome_report("F5", ARITH_INT, "int", max_sites,
+                            values_per_range)
+
+
+def run_input_dependence(max_sites: int = 100,
+                         values_per_range: int = 2) -> ExperimentReport:
+    """§4.2/4.3 input-range observations: the AVF barely depends on the
+    S/M/L input range (<5% difference), while the syndrome *median* shifts
+    visibly only for the multiply-based instructions (MUL/FMA/MAD)."""
+    import numpy as np
+
+    camp = _campaign(max_sites, values_per_range)
+    rows = []
+    for bench in ARITH_FP + ARITH_INT:
+        module = "fu_fp32" if bench in ARITH_FP else "fu_int"
+        avfs = {}
+        medians = {}
+        for rng_name in ("S", "M", "L"):
+            try:
+                r = camp.row(module, bench, rng_name)
+            except KeyError:
+                continue
+            avfs[rng_name] = r.avf_sdc + r.avf_due
+            rel = camp.syndrome(bench, module, rng_name)
+            if rel.size >= 5:
+                medians[rng_name] = float(np.median(rel))
+        if len(avfs) < 2:
+            continue
+        avf_spread = max(avfs.values()) - min(avfs.values())
+        med_vals = list(medians.values())
+        med_ratio = (max(med_vals) / max(min(med_vals), 1e-30)
+                     if len(med_vals) >= 2 else float("nan"))
+        rows.append({
+            "instr": bench,
+            "module": module,
+            "avf_S_%": round(avfs.get("S", float("nan")), 2),
+            "avf_M_%": round(avfs.get("M", float("nan")), 2),
+            "avf_L_%": round(avfs.get("L", float("nan")), 2),
+            "avf_spread_pp": round(avf_spread, 2),
+            "median_ratio_max/min": round(med_ratio, 2),
+        })
+    return ExperimentReport(
+        experiment_id="F3b",
+        title="Input-range dependence of AVF and syndrome median",
+        rows=rows,
+        paper_expectation="AVF difference between S/M/L inputs always "
+        "below ~5 percentage points; syndrome medians vary ~1% except for "
+        "MUL and FMA (up to 30%, larger inputs -> higher median)",
+    )

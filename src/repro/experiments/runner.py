@@ -1,0 +1,74 @@
+"""Run every experiment and render the consolidated report."""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentReport
+
+
+def run_all(fast: bool = True, processes: int = 1,
+            preset: str | None = None) -> list[ExperimentReport]:
+    """Regenerate every table and figure.
+
+    ``fast`` keeps the scaled-down campaign sizes (minutes); ``fast=False``
+    enlarges them (tens of minutes). ``preset`` ("tiny"/"small"/"paper")
+    overrides both with a :mod:`repro.presets` scale.
+    """
+    from repro.experiments import (
+        run_cost_model,
+        run_mitigation_study,
+        run_sensitivity_study,
+        run_fig_avf,
+        run_fig_avg_epr,
+        run_fig_epr,
+        run_fig_fapr,
+        run_fig_syndrome_fp,
+        run_fig_syndrome_int,
+        run_input_dependence,
+        run_fig_tmxm_avf,
+        run_fig_tmxm_patterns,
+        run_fig_tmxm_syndrome,
+        run_tab_apps,
+        run_tab_area,
+        run_tab_error_avf,
+        run_tab_hw_fault_rate,
+        run_tab_tmxm_patterns,
+    )
+
+    from repro.presets import get_preset
+
+    sc = get_preset(preset) if preset else get_preset(
+        "tiny" if fast else "small")
+    sites = sc.rtl_max_sites
+    vals = sc.rtl_values_per_range
+    gate_faults = sc.gate_max_faults
+    gate_stim = sc.gate_max_stimuli
+    epr_inj = sc.epr_injections
+    scale = sc.workload_scale
+
+    return [
+        run_tab_apps(),
+        run_fig_avf(max_sites=sites, values_per_range=vals),
+        run_fig_syndrome_fp(max_sites=sites, values_per_range=vals),
+        run_fig_syndrome_int(max_sites=sites, values_per_range=vals),
+        run_input_dependence(max_sites=sites, values_per_range=vals),
+        run_fig_tmxm_avf(max_sites=sites, values_per_type=vals),
+        run_fig_tmxm_patterns(max_sites=sites, values_per_type=vals),
+        run_tab_tmxm_patterns(max_sites=sites, values_per_type=vals),
+        run_fig_tmxm_syndrome(max_sites=sites, values_per_type=vals),
+        run_tab_area(scale=scale),
+        run_tab_hw_fault_rate(max_faults=gate_faults, max_stimuli=gate_stim,
+                              scale=scale, processes=processes),
+        run_fig_fapr(max_faults=gate_faults, max_stimuli=gate_stim,
+                     scale=scale, processes=processes),
+        run_tab_error_avf(max_faults=gate_faults, max_stimuli=gate_stim,
+                          scale=scale, processes=processes),
+        run_fig_epr(injections=epr_inj, scale=scale, processes=processes),
+        run_fig_avg_epr(injections=epr_inj, scale=scale, processes=processes),
+        run_cost_model(),
+        run_mitigation_study(injections=4 if fast else 20),
+        run_sensitivity_study(scale=scale),
+    ]
+
+
+def render_all(reports: list[ExperimentReport]) -> str:
+    return "\n\n".join(r.render() for r in reports)

@@ -1,0 +1,26 @@
+"""T1 — Table 1: the 15 evaluation applications."""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentReport
+from repro.workloads.registry import EVALUATION_APPS
+
+
+def run_tab_apps() -> ExperimentReport:
+    rows = [
+        {
+            "app": cls.meta.name,
+            "data_type": cls.meta.data_type,
+            "domain": cls.meta.domain,
+            "suite": cls.meta.suite,
+        }
+        for cls in EVALUATION_APPS.values()
+    ]
+    return ExperimentReport(
+        experiment_id="T1",
+        title="Codes used for the software-level error injections",
+        rows=rows,
+        paper_expectation="15 workloads: 10 FP32 + 5 INT32, spanning "
+        "linear algebra, N-body, grids, graphs, dynamic programming, "
+        "sorting and deep learning (CUDA SDK/Rodinia/NUPAR/Darknet)",
+    )

@@ -1,0 +1,22 @@
+"""Gate-level fault-injection campaigns (step 2 of the method).
+
+Runs exhaustive (or statistically sampled) stuck-at campaigns on the WSC,
+fetch and decoder netlists against the profiled instruction stimuli,
+classifying every fault as uncontrollable / hardware-masked / hardware-hang
+/ software-error (Table 5) and mapping the software errors onto the 13
+error models (Fig 9, Table 6).
+"""
+
+from repro.faultinjection.campaign import (
+    CampaignConfig,
+    FaultRecord,
+    GateCampaignResult,
+    run_gate_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "FaultRecord",
+    "GateCampaignResult",
+    "run_gate_campaign",
+]

@@ -1,0 +1,71 @@
+"""CLI: run gate-level stuck-at campaigns from the shell.
+
+Example::
+
+    python -m repro.faultinjection --unit decoder --max-faults 2048 \\
+        --processes 4 --save decoder.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.profiling import profile_workloads
+from repro.profiling.profiler import PROFILING_NAMES
+from repro.workloads import get_workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.faultinjection",
+        description="Gate-level stuck-at campaign on one GPU control unit.",
+    )
+    parser.add_argument("--unit", required=True,
+                        choices=["wsc", "fetch", "decoder"])
+    parser.add_argument("--max-faults", type=int, default=1024,
+                        help="0 = exhaustive fault list")
+    parser.add_argument("--max-stimuli", type=int, default=48)
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"])
+    parser.add_argument("--processes", type=int, default=1)
+    parser.add_argument("--save", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    names = PROFILING_NAMES[:6] if args.scale == "tiny" else PROFILING_NAMES
+    wls = [get_workload(n, scale=args.scale) for n in names]
+    prof = profile_workloads(wls, max_stimuli_per_workload=16)
+    print(f"profiled {prof.total_dynamic} dynamic instructions "
+          f"({len(prof.stimuli)} stimuli)")
+
+    cfg = CampaignConfig(
+        unit=args.unit,
+        max_faults=args.max_faults or None,
+        max_stimuli=args.max_stimuli,
+        processes=args.processes,
+    )
+    res = run_gate_campaign(cfg, prof.stimuli)
+
+    rates = res.category_rates()
+    print(format_table([{"category": k, "percent": v}
+                        for k, v in sorted(rates.items())]))
+    print("\nFAPR per error model:")
+    print(format_table([
+        {"model": m.value, "fapr_%": v,
+         "faults": res.faults_per_error()[m],
+         "times_produced": res.times_produced()[m]}
+        for m, v in sorted(res.fapr().items(), key=lambda kv: -kv[1])
+    ]))
+
+    if args.save:
+        from repro.faultinjection.results import save_result
+
+        save_result(res, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,324 @@
+"""Gate-level stuck-at campaign orchestration."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.common.rng import DEFAULT_SEED
+from repro.errormodels.classify import classify_output_diff
+from repro.errormodels.models import ErrorModel
+from repro.gatelevel.faults import StuckAtFault, full_fault_list, sample_faults
+from repro.gatelevel.sim import FaultBatch, LogicSim
+from repro.gatelevel.units import build_unit
+from repro.gatelevel.units.base import Stimulus, UnitModel
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Gate-level campaign parameters.
+
+    ``max_faults=None`` runs the exhaustive stuck-at list (paper scale);
+    the default samples it so the whole three-unit campaign runs in
+    minutes on one machine. Rates are ratio estimators, so sampling
+    preserves them within the usual statistical margin.
+    """
+
+    unit: str
+    max_faults: int | None = 1024
+    max_stimuli: int | None = 48
+    words: int = 8              # fault lanes per batch = 64*words
+    seed: int = DEFAULT_SEED
+    processes: int = 1
+
+
+@dataclass
+class FaultRecord:
+    """Aggregated outcome of one fault across all stimuli."""
+
+    fault: StuckAtFault
+    activated: bool = False
+    propagated: bool = False
+    hang: bool = False
+    #: model -> number of stimuli in which this fault produced it
+    models: Counter = field(default_factory=Counter)
+
+    @property
+    def category(self) -> str:
+        if self.hang:
+            return "hang"
+        if self.propagated:
+            return "sw_error"
+        if self.activated:
+            return "masked"
+        return "uncontrollable"
+
+
+@dataclass
+class GateCampaignResult:
+    """Campaign outcome for one unit."""
+
+    unit: str
+    num_stimuli: int
+    records: list[FaultRecord]
+
+    @property
+    def total_faults(self) -> int:
+        return len(self.records)
+
+    def category_counts(self) -> dict[str, int]:
+        c = Counter(r.category for r in self.records)
+        for k in ("uncontrollable", "masked", "hang", "sw_error"):
+            c.setdefault(k, 0)
+        return dict(c)
+
+    def category_rates(self) -> dict[str, float]:
+        """Table 5 row: percentage of faults per category."""
+        n = max(self.total_faults, 1)
+        return {k: 100.0 * v / n for k, v in self.category_counts().items()}
+
+    def faults_per_error(self) -> dict[ErrorModel, int]:
+        """Table 6: number of faults that produce each error model."""
+        out: Counter = Counter()
+        for r in self.records:
+            if r.category != "sw_error":
+                continue
+            for m in r.models:
+                out[m] += 1
+        return dict(out)
+
+    def fapr(self) -> dict[ErrorModel, float]:
+        """Fig 9: % of the unit's faults mapped to each error model."""
+        n = max(self.total_faults, 1)
+        return {m: 100.0 * c / n for m, c in self.faults_per_error().items()}
+
+    def times_produced(self) -> dict[ErrorModel, int]:
+        """Table 6: dynamic (per-stimulus) error production counts."""
+        out: Counter = Counter()
+        for r in self.records:
+            if r.category != "sw_error":
+                continue
+            out.update(r.models)
+        return dict(out)
+
+    def multi_model_fault_fraction(self) -> float:
+        """Fraction of sw-error faults producing more than one model
+        (the paper observes the same fault can manifest differently)."""
+        sw = [r for r in self.records if r.category == "sw_error"]
+        if not sw:
+            return 0.0
+        return sum(1 for r in sw if len(r.models) > 1) / len(sw)
+
+
+# ---------------------------------------------------------------------
+# golden reference
+# ---------------------------------------------------------------------
+
+def _golden_run(unit: UnitModel, stimuli: list[Stimulus]):
+    """Golden outputs + per-net toggle info per stimulus."""
+    sim = LogicSim(unit.netlist, num_words=1)
+    golden = []
+    for stim in stimuli:
+        sim.reset()
+        sim.set_faults(None)
+        ever1 = np.zeros(unit.netlist.num_nets, dtype=bool)
+        ever0 = np.zeros(unit.netlist.num_nets, dtype=bool)
+        per_cycle = []
+        liveness = {name: False for name in unit.liveness_outputs}
+        for inp in unit.transaction(stim):
+            outs = sim.cycle(inp)
+            nz = sim.vals[:, 0] != 0
+            ever1 |= nz
+            ever0 |= ~nz
+            vals = {name: int(sim.lane_values(arr, 1)[0])
+                    for name, arr in outs.items()}
+            per_cycle.append(vals)
+            for name in unit.liveness_outputs:
+                if vals[name]:
+                    liveness[name] = True
+        golden.append({
+            "cycles": per_cycle,
+            "ever1": ever1,
+            "ever0": ever0,
+            "live": liveness,
+        })
+    return golden
+
+
+# ---------------------------------------------------------------------
+# faulty batches
+# ---------------------------------------------------------------------
+
+def _run_batch(unit: UnitModel, batch_faults: list[StuckAtFault],
+               stimuli: list[Stimulus], golden, words: int) -> list[FaultRecord]:
+    sim = LogicSim(unit.netlist, num_words=words)
+    batch = FaultBatch(batch_faults, num_words=words)
+    n = len(batch_faults)
+    records = [FaultRecord(f) for f in batch_faults]
+
+    # activation from golden toggle info
+    for gi in golden:
+        for i, f in enumerate(batch_faults):
+            if f.stuck_at == 0 and gi["ever1"][f.net]:
+                records[i].activated = True
+            elif f.stuck_at == 1 and gi["ever0"][f.net]:
+                records[i].activated = True
+
+    out_names = list(unit.netlist.outputs)
+    for stim, gi in zip(stimuli, golden):
+        sim.reset()
+        sim.set_faults(batch)
+        live_seen = np.zeros(n, dtype=bool)
+        diffs_this_stim: dict[int, set[ErrorModel]] = {}
+        for cyc, inp in enumerate(unit.transaction(stim)):
+            outs = sim.cycle(inp)
+            gvals = gi["cycles"][cyc]
+            for name in out_names:
+                arr = outs[name]
+                width = arr.shape[0]
+                gval = gvals[name]
+                gold_arr = sim.broadcast(gval, width)
+                diff = arr ^ gold_arr
+                dwords = np.bitwise_or.reduce(diff, axis=0)
+                if not dwords.any():
+                    continue
+                lanes = np.nonzero(sim.unpack_lanes(
+                    dwords[None, :], n).ravel())[0]
+                if lanes.size == 0:
+                    continue
+                fvals = sim.lane_values(arr, n)
+                sem = unit.output_semantics[name]
+                for lane in lanes:
+                    models = classify_output_diff(
+                        sem, stim, gval, int(fvals[lane]))
+                    if models:
+                        diffs_this_stim.setdefault(int(lane), set()).update(
+                            models)
+                    records[lane].propagated = True
+            # liveness tracking
+            for name in unit.liveness_outputs:
+                vals = sim.lane_values(outs[name], n)
+                live_seen |= vals != 0
+        # hang: golden asserted liveness but this lane never did
+        golden_live = any(gi["live"].values())
+        if golden_live:
+            for i in range(n):
+                if not live_seen[i]:
+                    records[i].hang = True
+        for lane, models in diffs_this_stim.items():
+            for m in models:
+                records[lane].models[m] += 1
+    return records
+
+
+def _worker(args):
+    unit_name, faults, stimuli, golden, words = args
+    unit = build_unit(unit_name)
+    return _run_batch(unit, faults, stimuli, golden, words)
+
+
+# ---------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------
+
+def run_gate_campaign(config: CampaignConfig,
+                      stimuli: list[Stimulus],
+                      checkpoint_path: str | None = None
+                      ) -> GateCampaignResult:
+    """Run the gate-level campaign for one unit over *stimuli*.
+
+    With ``checkpoint_path``, completed fault batches are appended to a
+    JSONL file and skipped on restart — paper-scale campaigns survive
+    interruption and can be resumed (or sharded across machines and the
+    files concatenated).
+    """
+    unit = build_unit(config.unit)
+    faults = full_fault_list(unit.netlist)
+    faults = sample_faults(faults, config.max_faults, seed=config.seed)
+    if config.max_stimuli and len(stimuli) > config.max_stimuli:
+        idx = np.linspace(0, len(stimuli) - 1, config.max_stimuli).astype(int)
+        stimuli = [stimuli[i] for i in idx]
+    golden = _golden_run(unit, stimuli)
+
+    cap = 64 * config.words
+    batches = [faults[i:i + cap] for i in range(0, len(faults), cap)]
+
+    done: dict[int, list[FaultRecord]] = {}
+    if checkpoint_path:
+        done = _load_checkpoint(checkpoint_path)
+        batches_todo = [(i, b) for i, b in enumerate(batches)
+                        if i not in done]
+    else:
+        batches_todo = list(enumerate(batches))
+
+    if config.processes > 1 and len(batches_todo) > 1:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(config.processes) as pool:
+            chunks = pool.map(
+                _worker,
+                [(config.unit, b, stimuli, golden, config.words)
+                 for _, b in batches_todo],
+            )
+        for (i, _), chunk in zip(batches_todo, chunks):
+            done[i] = chunk
+            if checkpoint_path:
+                _append_checkpoint(checkpoint_path, i, chunk)
+    else:
+        for i, b in batches_todo:
+            chunk = _run_batch(unit, b, stimuli, golden, config.words)
+            done[i] = chunk
+            if checkpoint_path:
+                _append_checkpoint(checkpoint_path, i, chunk)
+    records = [r for i in sorted(done) for r in done[i]]
+    return GateCampaignResult(
+        unit=config.unit, num_stimuli=len(stimuli), records=records
+    )
+
+
+def _append_checkpoint(path: str, batch_index: int,
+                       records: list[FaultRecord]) -> None:
+    import json
+
+    payload = {
+        "batch": batch_index,
+        "records": [
+            {"net": r.fault.net, "sa": r.fault.stuck_at,
+             "activated": r.activated, "propagated": r.propagated,
+             "hang": r.hang,
+             "models": {m.value: c for m, c in r.models.items()}}
+            for r in records
+        ],
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(payload) + "\n")
+
+
+def _load_checkpoint(path: str) -> dict[int, list[FaultRecord]]:
+    import json
+    import os
+
+    from repro.gatelevel.faults import StuckAtFault
+
+    if not os.path.exists(path):
+        return {}
+    out: dict[int, list[FaultRecord]] = {}
+    with open(path) as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            records = [
+                FaultRecord(
+                    fault=StuckAtFault(r["net"], r["sa"]),
+                    activated=r["activated"], propagated=r["propagated"],
+                    hang=r["hang"],
+                    models=Counter({ErrorModel(k): v
+                                    for k, v in r["models"].items()}),
+                )
+                for r in payload["records"]
+            ]
+            out[payload["batch"]] = records
+    return out

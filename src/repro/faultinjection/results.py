@@ -1,0 +1,125 @@
+"""Campaign result (de)serialization.
+
+Paper-scale campaigns run for hours; results must survive the process.
+Both campaign layers serialize to plain JSON so reports can be
+regenerated (or merged across machines) without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.errormodels.models import ErrorModel
+from repro.faultinjection.campaign import FaultRecord, GateCampaignResult
+from repro.gatelevel.faults import StuckAtFault
+from repro.swinjector.campaign import (
+    EprResult,
+    InjectionOutcome,
+    SwCampaignConfig,
+)
+
+
+def gate_result_to_dict(res: GateCampaignResult) -> dict:
+    return {
+        "kind": "gate-campaign",
+        "unit": res.unit,
+        "num_stimuli": res.num_stimuli,
+        "records": [
+            {
+                "net": r.fault.net,
+                "sa": r.fault.stuck_at,
+                "activated": r.activated,
+                "propagated": r.propagated,
+                "hang": r.hang,
+                "models": {m.value: c for m, c in r.models.items()},
+            }
+            for r in res.records
+        ],
+    }
+
+
+def gate_result_from_dict(data: dict) -> GateCampaignResult:
+    if data.get("kind") != "gate-campaign":
+        raise ValueError("not a serialized gate campaign")
+    records = []
+    for r in data["records"]:
+        rec = FaultRecord(
+            fault=StuckAtFault(r["net"], r["sa"]),
+            activated=r["activated"],
+            propagated=r["propagated"],
+            hang=r["hang"],
+            models=Counter({ErrorModel(k): v
+                            for k, v in r["models"].items()}),
+        )
+        records.append(rec)
+    return GateCampaignResult(unit=data["unit"],
+                              num_stimuli=data["num_stimuli"],
+                              records=records)
+
+
+def epr_result_to_dict(res: EprResult) -> dict:
+    cfg = res.config
+    return {
+        "kind": "epr-campaign",
+        "config": {
+            "apps": list(cfg.apps),
+            "models": [m.value for m in cfg.models],
+            "injections_per_model": cfg.injections_per_model,
+            "scale": cfg.scale,
+            "seed": cfg.seed,
+        },
+        "outcomes": [
+            {
+                "app": o.app,
+                "model": o.model.value,
+                "outcome": o.outcome,
+                "due_reason": o.due_reason,
+                "activations": o.activations,
+            }
+            for o in res.outcomes
+        ],
+    }
+
+
+def epr_result_from_dict(data: dict) -> EprResult:
+    if data.get("kind") != "epr-campaign":
+        raise ValueError("not a serialized EPR campaign")
+    c = data["config"]
+    cfg = SwCampaignConfig(
+        apps=tuple(c["apps"]),
+        models=tuple(ErrorModel(m) for m in c["models"]),
+        injections_per_model=c["injections_per_model"],
+        scale=c["scale"],
+        seed=c["seed"],
+    )
+    outcomes = [
+        InjectionOutcome(app=o["app"], model=ErrorModel(o["model"]),
+                         outcome=o["outcome"], due_reason=o["due_reason"],
+                         activations=o["activations"])
+        for o in data["outcomes"]
+    ]
+    return EprResult(config=cfg, outcomes=outcomes)
+
+
+def save_result(res, path: str | Path) -> None:
+    """Serialize a gate or EPR campaign result to JSON."""
+    if isinstance(res, GateCampaignResult):
+        payload = gate_result_to_dict(res)
+    elif isinstance(res, EprResult):
+        payload = epr_result_to_dict(res)
+    else:
+        raise TypeError(f"cannot serialize {type(res).__name__}")
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_result(path: str | Path):
+    """Load a result saved by :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind == "gate-campaign":
+        return gate_result_from_dict(data)
+    if kind == "epr-campaign":
+        return epr_result_from_dict(data)
+    raise ValueError(f"unknown result kind {kind!r}")

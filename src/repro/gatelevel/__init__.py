@@ -1,0 +1,37 @@
+"""Gate-level netlist engine and the GPU control-unit netlists.
+
+This package plays the role FlexGripPlus + a commercial logic simulator
+play in the paper's low-level flow:
+
+* :mod:`repro.gatelevel.netlist` — netlist representation and the
+  :class:`CircuitBuilder` construction DSL (AND/OR/XOR/NOT/MUX/DFF).
+* :mod:`repro.gatelevel.sim` — levelized 64-way bit-parallel logic
+  simulation; the same engine runs pattern-parallel golden simulation and
+  fault-parallel (one stuck-at machine per bit) campaigns.
+* :mod:`repro.gatelevel.faults` — stuck-at fault-list generation and
+  structural collapsing.
+* :mod:`repro.gatelevel.circuits` — arithmetic/selection building blocks
+  (adders, comparators, muxes, shifters, multipliers, encoders).
+* :mod:`repro.gatelevel.area` — 15nm-class cell-area model (Table 4).
+* :mod:`repro.gatelevel.units` — the target units: Warp Scheduler
+  Controller, fetch, decoder, plus an FP32 datapath for area reference.
+"""
+
+from repro.gatelevel.netlist import CircuitBuilder, Netlist, Bus, GateType
+from repro.gatelevel.sim import LogicSim, FaultBatch
+from repro.gatelevel.faults import StuckAtFault, full_fault_list, collapse_faults
+from repro.gatelevel.area import netlist_area, AREA_PER_GATE
+
+__all__ = [
+    "CircuitBuilder",
+    "Netlist",
+    "Bus",
+    "GateType",
+    "LogicSim",
+    "FaultBatch",
+    "StuckAtFault",
+    "full_fault_list",
+    "collapse_faults",
+    "netlist_area",
+    "AREA_PER_GATE",
+]

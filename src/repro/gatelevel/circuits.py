@@ -1,0 +1,228 @@
+"""Combinational building blocks used by the unit netlists.
+
+Everything operates on :class:`~repro.gatelevel.netlist.Bus` objects and
+returns buses, so unit construction code composes like structural RTL.
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import NetlistError
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType
+
+
+def full_adder(b: CircuitBuilder, a: int, x: int, cin: int) -> tuple[int, int]:
+    """(sum, cout) one-bit full adder."""
+    axx = b.gate(GateType.XOR, a, x)
+    s = b.gate(GateType.XOR, axx, cin)
+    c1 = b.gate(GateType.AND, a, x)
+    c2 = b.gate(GateType.AND, axx, cin)
+    cout = b.gate(GateType.OR, c1, c2)
+    return s, cout
+
+
+def ripple_adder(b: CircuitBuilder, a: Bus, x: Bus,
+                 cin: int | None = None) -> tuple[Bus, int]:
+    """(sum, carry_out) ripple-carry adder; widths must match."""
+    if len(a) != len(x):
+        raise NetlistError("adder width mismatch")
+    carry = cin if cin is not None else b.const(0)[0]
+    outs = []
+    for ai, xi in zip(a.nets, x.nets):
+        s, carry = full_adder(b, ai, xi, carry)
+        outs.append(s)
+    return Bus(b, outs), carry
+
+
+def subtractor(b: CircuitBuilder, a: Bus, x: Bus) -> tuple[Bus, int]:
+    """(a - x, no_borrow): two's-complement subtract; carry_out==1 ⇔ a >= x
+    (unsigned)."""
+    one = b.const(1)[0]
+    return ripple_adder(b, a, ~x, cin=one)
+
+
+def incrementer(b: CircuitBuilder, a: Bus) -> Bus:
+    """a + 1 (dropping the final carry)."""
+    carry = b.const(1)[0]
+    outs = []
+    for ai in a.nets:
+        s = b.gate(GateType.XOR, ai, carry)
+        carry = b.gate(GateType.AND, ai, carry)
+        outs.append(s)
+    return Bus(b, outs)
+
+
+def equals(b: CircuitBuilder, a: Bus, x: Bus) -> int:
+    """Single net: a == x."""
+    diff = a ^ x
+    return b.gate(GateType.NOT, b.or_reduce(diff))
+
+
+def equals_const(b: CircuitBuilder, a: Bus, value: int) -> int:
+    """Single net: a == constant (minterm AND tree)."""
+    lits = []
+    for i, n in enumerate(a.nets):
+        lits.append(n if (value >> i) & 1 else b.gate(GateType.NOT, n))
+    return b.and_reduce(Bus(b, lits))
+
+
+def less_than(b: CircuitBuilder, a: Bus, x: Bus) -> int:
+    """Single net: a < x (unsigned)."""
+    _, no_borrow = subtractor(b, a, x)
+    return b.gate(GateType.NOT, no_borrow)
+
+
+def onehot_decoder(b: CircuitBuilder, sel: Bus) -> Bus:
+    """2^k one-hot lines from a k-bit selector."""
+    k = len(sel)
+    lines = []
+    for v in range(1 << k):
+        lines.append(equals_const(b, sel, v))
+    return Bus(b, lines)
+
+
+def mux_n(b: CircuitBuilder, sel: Bus, choices: list[Bus]) -> Bus:
+    """Select choices[sel]; len(choices) must be 2^len(sel)."""
+    if len(choices) != 1 << len(sel):
+        raise NetlistError("mux_n: wrong number of choices")
+    layer = list(choices)
+    for bit in sel.nets:
+        nxt = []
+        for i in range(0, len(layer), 2):
+            nxt.append(b.mux(bit, layer[i], layer[i + 1]))
+        layer = nxt
+    return layer[0]
+
+
+def priority_encoder(b: CircuitBuilder, req: Bus) -> tuple[Bus, int]:
+    """(index of lowest set bit, any_set). Index width = ceil(log2(n))."""
+    n = len(req)
+    width = max((n - 1).bit_length(), 1)
+    # grant[i] = req[i] & ~(req[0] | ... | req[i-1])
+    grants = []
+    seen = None
+    for i, r in enumerate(req.nets):
+        if seen is None:
+            grants.append(r)
+            seen = r
+        else:
+            g = b.gate(GateType.AND, r, b.gate(GateType.NOT, seen))
+            grants.append(g)
+            seen = b.gate(GateType.OR, seen, r)
+    any_set = seen
+    idx_bits = []
+    for bit in range(width):
+        contributors = [grants[i] for i in range(n) if (i >> bit) & 1]
+        if contributors:
+            idx_bits.append(b.or_reduce(Bus(b, contributors)))
+        else:
+            idx_bits.append(b.const(0)[0])
+    return Bus(b, idx_bits), any_set
+
+
+def rotate_left(b: CircuitBuilder, a: Bus, amount: Bus) -> Bus:
+    """Barrel rotator: a rotated left by `amount` (mux stages)."""
+    cur = a
+    n = len(a)
+    for stage, sel in enumerate(amount.nets):
+        shift = (1 << stage) % n
+        rotated = Bus(b, [cur.nets[(i - shift) % n] for i in range(n)])
+        cur = b.mux(sel, cur, rotated)
+    return cur
+
+
+def rotate_right(b: CircuitBuilder, a: Bus, amount: Bus) -> Bus:
+    """Barrel rotator: out[i] = a[(i + amount) % n]."""
+    cur = a
+    n = len(a)
+    for stage, sel in enumerate(amount.nets):
+        shift = (1 << stage) % n
+        rotated = Bus(b, [cur.nets[(i + shift) % n] for i in range(n)])
+        cur = b.mux(sel, cur, rotated)
+    return cur
+
+
+def shifter_right(b: CircuitBuilder, a: Bus, amount: Bus) -> Bus:
+    """Logical right barrel shifter (zero fill)."""
+    cur = a
+    zero = b.const(0)[0]
+    n = len(a)
+    for stage, sel in enumerate(amount.nets):
+        shift = 1 << stage
+        shifted = Bus(b, [cur.nets[i + shift] if i + shift < n else zero
+                          for i in range(n)])
+        cur = b.mux(sel, cur, shifted)
+    return cur
+
+
+def shifter_left(b: CircuitBuilder, a: Bus, amount: Bus) -> Bus:
+    """Logical left barrel shifter (zero fill)."""
+    cur = a
+    zero = b.const(0)[0]
+    n = len(a)
+    for stage, sel in enumerate(amount.nets):
+        shift = 1 << stage
+        shifted = Bus(b, [cur.nets[i - shift] if i - shift >= 0 else zero
+                          for i in range(n)])
+        cur = b.mux(sel, cur, shifted)
+    return cur
+
+
+def array_multiplier(b: CircuitBuilder, a: Bus, x: Bus,
+                     out_width: int | None = None) -> Bus:
+    """Unsigned array multiplier; returns the low `out_width` bits
+    (default len(a)+len(x))."""
+    out_width = out_width or (len(a) + len(x))
+    acc: Bus | None = None
+    for j, xb in enumerate(x.nets):
+        if j >= out_width:
+            break
+        partial_nets = []
+        zero = b.const(0)[0]
+        for i in range(out_width):
+            if 0 <= i - j < len(a):
+                partial_nets.append(b.gate(GateType.AND, a.nets[i - j], xb))
+            else:
+                partial_nets.append(zero)
+        partial = Bus(b, partial_nets)
+        if acc is None:
+            acc = partial
+        else:
+            acc, _ = ripple_adder(b, acc, partial)
+    assert acc is not None
+    return acc
+
+
+def leading_zero_count(b: CircuitBuilder, a: Bus) -> Bus:
+    """Count of leading zeros (from MSB); width = ceil(log2(n+1))."""
+    n = len(a)
+    width = (n).bit_length()
+    # one-hot of the highest set bit, scanning from MSB
+    seen = None
+    hot = []
+    for i in reversed(range(n)):  # MSB first
+        r = a.nets[i]
+        if seen is None:
+            hot.append((i, r))
+            seen = r
+        else:
+            g = b.gate(GateType.AND, r, b.gate(GateType.NOT, seen))
+            hot.append((i, g))
+            seen = b.gate(GateType.OR, seen, r)
+    none_set = b.gate(GateType.NOT, seen)
+    out_bits = []
+    for bit in range(width):
+        contributors = [g for (i, g) in hot if ((n - 1 - i) >> bit) & 1]
+        if (n >> bit) & 1:
+            contributors.append(none_set)
+        out_bits.append(b.or_reduce(Bus(b, contributors))
+                        if contributors else b.const(0)[0])
+    return Bus(b, out_bits)
+
+
+def register_bank(b: CircuitBuilder, width: int, enable: int,
+                  d: Bus, init: int = 0) -> Bus:
+    """Enabled register: q <= enable ? d : q."""
+    q = b.dff(width, init=init)
+    nxt = b.mux(enable, q, d)
+    b.connect_dff(q, nxt)
+    return q

@@ -1,0 +1,99 @@
+"""Stuck-at fault lists and structural collapsing.
+
+The fault universe is the classic single stuck-at model: every net
+(gate output or primary input) stuck at 0 and stuck at 1 — the model the
+paper injects exhaustively in the WSC, fetch and decoder netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.gatelevel.netlist import GateType, Netlist
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault at a net."""
+
+    net: int
+    stuck_at: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError("stuck_at must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"net{self.net}/SA{self.stuck_at}"
+
+
+def full_fault_list(netlist: Netlist, include_dffs: bool = True) -> list[StuckAtFault]:
+    """Every net SA0 + SA1 (constants excluded: unstimulable by definition)."""
+    skip = {GateType.CONST0, GateType.CONST1}
+    if not include_dffs:
+        skip.add(GateType.DFF)
+    out = []
+    for net in range(netlist.num_nets):
+        if GateType(int(netlist.gate_type[net])) in skip:
+            continue
+        out.append(StuckAtFault(net, 0))
+        out.append(StuckAtFault(net, 1))
+    return out
+
+
+def collapse_faults(netlist: Netlist, faults: list[StuckAtFault]) -> list[StuckAtFault]:
+    """Structural equivalence collapsing for BUF/NOT chains.
+
+    A fault on the output of a BUF is equivalent to the same fault on its
+    (single) input net; a fault on the output of a NOT is equivalent to the
+    opposite fault on its input. Only safe when the input net has a single
+    fanout, so we verify fanout counts first.
+    """
+    fanout = np.zeros(netlist.num_nets, dtype=np.int32)
+    for i in range(netlist.num_nets):
+        for f in (netlist.fanin0[i], netlist.fanin1[i]):
+            if f >= 0 and netlist.gate_type[i] != GateType.DFF:
+                fanout[f] += 1
+    # DFF D pins also count as fanout
+    for i in np.where(netlist.gate_type == GateType.DFF)[0]:
+        d = netlist.fanin0[i]
+        if d >= 0:
+            fanout[d] += 1
+
+    def canonical(net: int, sa: int) -> tuple[int, int]:
+        while True:
+            t = GateType(int(netlist.gate_type[net]))
+            if t == GateType.BUF:
+                src = netlist.fanin0[net]
+            elif t == GateType.NOT:
+                src = netlist.fanin0[net]
+            else:
+                return net, sa
+            if fanout[src] != 1:
+                return net, sa
+            if t == GateType.NOT:
+                sa ^= 1
+            net = src
+
+    seen: set[tuple[int, int]] = set()
+    out = []
+    for f in faults:
+        key = canonical(f.net, f.stuck_at)
+        if key not in seen:
+            seen.add(key)
+            out.append(StuckAtFault(*key))
+    return out
+
+
+def sample_faults(faults: list[StuckAtFault], max_faults: int | None,
+                  seed: int = 0) -> list[StuckAtFault]:
+    """Deterministic uniform sample of the fault list (campaign scaling)."""
+    if max_faults is None or len(faults) <= max_faults:
+        return list(faults)
+    rng = make_rng(seed, "fault-sample", len(faults), max_faults)
+    idx = rng.choice(len(faults), size=max_faults, replace=False)
+    idx.sort()
+    return [faults[i] for i in idx]

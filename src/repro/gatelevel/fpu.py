@@ -1,0 +1,289 @@
+"""Gate-level FP32 datapath (multiplier + adder core).
+
+This is the paper's Table 4 area reference ("FP32 unit", 100%): the WSC,
+fetch and decoder areas are expressed relative to one FP32 core. The
+datapath implements truncating (round-toward-zero) IEEE-754 binary32
+multiply and add without denormals (flushed to zero) — the usual
+simplifications of open GPU models. ``fp32_mul_model`` / ``fp32_add_model``
+are bit-exact Python mirrors used by the tests.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import (
+    array_multiplier,
+    leading_zero_count,
+    less_than,
+    ripple_adder,
+    shifter_left,
+    shifter_right,
+    subtractor,
+)
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType, Netlist
+
+
+def _unpack(b: CircuitBuilder, x: Bus):
+    sign = x.nets[31]
+    exp = x[23:31]
+    mant = x[0:23]
+    nz = b.or_reduce(exp)  # exp != 0 -> normal (denormals flush to zero)
+    sig = mant.concat(Bus(b, [nz]))  # 24-bit significand with implicit one
+    return sign, exp, mant, sig, nz
+
+
+def _pack(b: CircuitBuilder, sign: int, exp9: Bus, mant: Bus,
+          force_zero: int) -> Bus:
+    """Pack with exponent clamping: exp<=0 -> 0, exp>=255 -> inf."""
+    # exp9 is a 9-bit biased exponent candidate (may exceed 254 or be <=0)
+    underflow = b.gate(GateType.NOT, b.or_reduce(exp9))  # == 0
+    # treat negative results as already clamped by callers (they pass 0)
+    overflow = b.gate(
+        GateType.OR,
+        exp9.nets[8],
+        b.and_reduce(exp9[0:8]),
+    )
+    zero = b.gate(GateType.OR, force_zero, underflow)
+    zeros23 = b.const(0, 23)
+    exp8 = exp9[0:8]
+    ones8 = b.const(0xFF, 8)
+    exp_sel = b.mux(overflow, exp8, ones8)
+    mant_sel = b.mux(overflow, mant, zeros23)
+    exp_final = b.mux(zero, exp_sel, b.const(0, 8))
+    mant_final = b.mux(zero, mant_sel, zeros23)
+    sign_bus = Bus(b, [sign])
+    return mant_final.concat(exp_final).concat(sign_bus)
+
+
+def build_fp32_mul() -> Netlist:
+    """FP32 truncating multiplier netlist: inputs a, b; output y."""
+    b = CircuitBuilder("fp32_mul")
+    a = b.input("a", 32)
+    x = b.input("b", 32)
+    sa, ea, _, siga, nza = _unpack(b, a)
+    sb, eb, _, sigb, nzb = _unpack(b, x)
+
+    sign = b.gate(GateType.XOR, sa, sb)
+    any_zero = b.gate(GateType.NOT, b.gate(GateType.AND, nza, nzb))
+
+    prod = array_multiplier(b, siga, sigb, 48)
+    top = prod.nets[47]
+    mant_hi = prod[24:47]  # 23 bits when top set
+    mant_lo = prod[23:46]
+    mant = b.mux(top, mant_lo, mant_hi)
+
+    # exp = ea + eb - 127 + top  (9-bit arithmetic, -127 == +384 mod 512... )
+    ea9 = ea.concat(b.const(0, 1))
+    eb9 = eb.concat(b.const(0, 1))
+    esum, _ = ripple_adder(b, ea9, eb9)
+    bias = b.const(127, 9)
+    ediff, no_borrow = subtractor(b, esum, bias)
+    # if borrow (ea+eb < 127): deep underflow -> zero
+    underflow = b.gate(GateType.NOT, no_borrow)
+    inc = Bus(b, [top] + b.const(0, 8).nets)
+    efinal, _ = ripple_adder(b, ediff, inc)
+
+    force_zero = b.gate(GateType.OR, any_zero, underflow)
+    b.output("y", _pack(b, sign, efinal, mant, force_zero))
+    return b.build()
+
+
+def build_fp32_add() -> Netlist:
+    """FP32 truncating adder netlist: inputs a, b; output y."""
+    b = CircuitBuilder("fp32_add")
+    a = b.input("a", 32)
+    x = b.input("b", 32)
+    sa, ea, manta, siga, nza = _unpack(b, a)
+    sb, eb, mantb, sigb, nzb = _unpack(b, x)
+
+    # order by magnitude: {exp, mant} as 31-bit unsigned
+    maga = manta.concat(ea)
+    magb = mantb.concat(eb)
+    swap = less_than(b, maga, magb)
+    e_hi = b.mux(swap, ea, eb)
+    e_lo = b.mux(swap, eb, ea)
+    s_hi = b.mux(swap, Bus(b, [sa]), Bus(b, [sb])).nets[0]
+    s_lo = b.mux(swap, Bus(b, [sb]), Bus(b, [sa])).nets[0]
+    sig_hi = b.mux(swap, siga, sigb)
+    sig_lo = b.mux(swap, sigb, siga)
+
+    diff, _ = subtractor(b, e_hi, e_lo)  # >= 0 by construction
+    big_shift = b.or_reduce(diff[5:8])   # >= 32 -> aligned value is 0
+    aligned = shifter_right(b, sig_lo, diff[0:5])
+    zero24 = b.const(0, 24)
+    aligned = b.mux(big_shift, aligned, zero24)
+
+    sub = b.gate(GateType.XOR, s_hi, s_lo)
+
+    # addition path: 25-bit sum
+    sum_bus, carry = ripple_adder(b, sig_hi, aligned)
+    sum25 = sum_bus.concat(Bus(b, [carry]))
+    add_mant = b.mux(carry, sum25[0:23], sum25[1:24])
+    one9 = Bus(b, [carry] + b.const(0, 8).nets)
+    e_hi9 = e_hi.concat(b.const(0, 1))
+    add_exp, _ = ripple_adder(b, e_hi9, one9)
+
+    # subtraction path: sig_hi - aligned (>= 0), normalize via LZC
+    mag, _ = subtractor(b, sig_hi, aligned)
+    lzc = leading_zero_count(b, mag)  # 5 bits (width 24 -> 5)
+    normed = shifter_left(b, mag, lzc[0:5])
+    sub_mant = normed[0:23]
+    lzc9 = lzc.concat(b.const(0, 9 - len(lzc)))
+    sub_exp, sub_no_borrow = subtractor(b, e_hi9, lzc9)
+    cancel = b.gate(GateType.NOT, b.or_reduce(mag))  # exact cancellation
+    sub_uflow = b.gate(GateType.NOT, sub_no_borrow)
+
+    mant = b.mux(sub, add_mant, sub_mant)
+    exp = b.mux(sub, add_exp, sub_exp)
+    sign = s_hi
+
+    both_zero = b.gate(GateType.NOT, b.gate(GateType.OR, nza, nzb))
+    force_zero_sub = b.gate(GateType.OR, cancel, sub_uflow)
+    force_zero = b.gate(
+        GateType.OR, both_zero,
+        b.gate(GateType.AND, sub, force_zero_sub),
+    )
+    # if one operand is zero the mux pipeline already returns the other
+    b.output("y", _pack(b, sign, exp, mant, force_zero))
+    return b.build()
+
+
+def build_fp32_core() -> Netlist:
+    """Combined mul+add core with an op-select input (area reference)."""
+    b = CircuitBuilder("fp32_core")
+    a = b.input("a", 32)
+    x = b.input("b", 32)
+    op = b.input("op", 1)  # 0 = add, 1 = mul
+
+    # both datapaths inlined on this builder, result muxed by `op`
+    sa, ea, manta, siga, nza = _unpack(b, a)
+    sb, eb, mantb, sigb, nzb = _unpack(b, x)
+
+    # --- multiplier slice ---
+    msign = b.gate(GateType.XOR, sa, sb)
+    many_zero = b.gate(GateType.NOT, b.gate(GateType.AND, nza, nzb))
+    prod = array_multiplier(b, siga, sigb, 48)
+    top = prod.nets[47]
+    mmant = b.mux(top, prod[23:46], prod[24:47])
+    ea9 = ea.concat(b.const(0, 1))
+    eb9 = eb.concat(b.const(0, 1))
+    esum, _ = ripple_adder(b, ea9, eb9)
+    ediff, no_borrow = subtractor(b, esum, b.const(127, 9))
+    muflow = b.gate(GateType.NOT, no_borrow)
+    inc = Bus(b, [top] + b.const(0, 8).nets)
+    mexp, _ = ripple_adder(b, ediff, inc)
+    mzero = b.gate(GateType.OR, many_zero, muflow)
+
+    # --- adder slice ---
+    maga = manta.concat(ea)
+    magb = mantb.concat(eb)
+    swap = less_than(b, maga, magb)
+    e_hi = b.mux(swap, ea, eb)
+    e_lo = b.mux(swap, eb, ea)
+    s_hi = b.mux(swap, Bus(b, [sa]), Bus(b, [sb])).nets[0]
+    s_lo = b.mux(swap, Bus(b, [sb]), Bus(b, [sa])).nets[0]
+    sig_hi = b.mux(swap, siga, sigb)
+    sig_lo = b.mux(swap, sigb, siga)
+    diff, _ = subtractor(b, e_hi, e_lo)
+    big_shift = b.or_reduce(diff[5:8])
+    aligned = b.mux(big_shift, shifter_right(b, sig_lo, diff[0:5]),
+                    b.const(0, 24))
+    subsel = b.gate(GateType.XOR, s_hi, s_lo)
+    sum_bus, carry = ripple_adder(b, sig_hi, aligned)
+    sum25 = sum_bus.concat(Bus(b, [carry]))
+    add_mant = b.mux(carry, sum25[0:23], sum25[1:24])
+    e_hi9 = e_hi.concat(b.const(0, 1))
+    add_exp, _ = ripple_adder(b, e_hi9, Bus(b, [carry] + b.const(0, 8).nets))
+    mag, _ = subtractor(b, sig_hi, aligned)
+    lzc = leading_zero_count(b, mag)
+    sub_mant = shifter_left(b, mag, lzc[0:5])[0:23]
+    sub_exp, sub_nb = subtractor(b, e_hi9, lzc.concat(b.const(0, 9 - len(lzc))))
+    cancel = b.gate(GateType.NOT, b.or_reduce(mag))
+    amant = b.mux(subsel, add_mant, sub_mant)
+    aexp = b.mux(subsel, add_exp, sub_exp)
+    both_zero = b.gate(GateType.NOT, b.gate(GateType.OR, nza, nzb))
+    azero = b.gate(GateType.OR, both_zero, b.gate(
+        GateType.AND, subsel,
+        b.gate(GateType.OR, cancel, b.gate(GateType.NOT, sub_nb))))
+
+    opn = op.nets[0]
+    sign = b.mux(opn, Bus(b, [s_hi]), Bus(b, [msign])).nets[0]
+    exp = b.mux(opn, aexp, mexp)
+    mant = b.mux(opn, amant, mmant)
+    fz = b.mux(opn, Bus(b, [azero]), Bus(b, [mzero])).nets[0]
+    b.output("y", _pack(b, sign, exp, mant, fz))
+    return b.build()
+
+
+# ---------------------------------------------------------------------
+# bit-exact Python mirrors
+# ---------------------------------------------------------------------
+
+def _unpack_py(x: int):
+    sign = (x >> 31) & 1
+    exp = (x >> 23) & 0xFF
+    mant = x & 0x7FFFFF
+    nz = int(exp != 0)
+    sig = mant | (nz << 23)
+    return sign, exp, mant, sig, nz
+
+
+def _pack_py(sign: int, exp9: int, mant: int, force_zero: int) -> int:
+    exp9 &= 0x1FF
+    underflow = int(exp9 == 0)
+    overflow = int(bool(exp9 & 0x100) or (exp9 & 0xFF) == 0xFF)
+    zero = force_zero | underflow
+    if zero:
+        exp8, m = 0, 0
+    elif overflow:
+        exp8, m = 0xFF, 0
+    else:
+        exp8, m = exp9 & 0xFF, mant & 0x7FFFFF
+    return (sign << 31) | (exp8 << 23) | m
+
+
+def fp32_mul_model(a: int, b: int) -> int:
+    """Bit-exact model of :func:`build_fp32_mul`."""
+    sa, ea, _, siga, nza = _unpack_py(a)
+    sb, eb, _, sigb, nzb = _unpack_py(b)
+    sign = sa ^ sb
+    any_zero = int(not (nza and nzb))
+    prod = siga * sigb
+    top = (prod >> 47) & 1
+    mant = (prod >> 24) & 0x7FFFFF if top else (prod >> 23) & 0x7FFFFF
+    esum = (ea + eb) & 0x1FF
+    ediff = (esum - 127) & 0x1FF
+    underflow = int(ea + eb < 127)
+    efinal = (ediff + top) & 0x1FF
+    return _pack_py(sign, efinal, mant, any_zero | underflow)
+
+
+def fp32_add_model(a: int, b: int) -> int:
+    """Bit-exact model of :func:`build_fp32_add`."""
+    sa, ea, manta, siga, nza = _unpack_py(a)
+    sb, eb, mantb, sigb, nzb = _unpack_py(b)
+    maga = (ea << 23) | manta
+    magb = (eb << 23) | mantb
+    if maga < magb:
+        e_hi, e_lo, s_hi, s_lo = eb, ea, sb, sa
+        sig_hi, sig_lo = sigb, siga
+    else:
+        e_hi, e_lo, s_hi, s_lo = ea, eb, sa, sb
+        sig_hi, sig_lo = siga, sigb
+    diff = e_hi - e_lo
+    aligned = 0 if diff >= 32 else (sig_lo >> (diff & 31))
+    sub = s_hi ^ s_lo
+    if not sub:
+        s = sig_hi + aligned
+        carry = (s >> 24) & 1
+        mant = (s >> 1) & 0x7FFFFF if carry else s & 0x7FFFFF
+        exp = (e_hi + carry) & 0x1FF
+        force_zero = int(not (nza or nzb))
+    else:
+        mag = sig_hi - aligned
+        lzc = 24 - mag.bit_length() if mag else 24
+        normed = (mag << lzc) & 0xFFFFFF
+        mant = normed & 0x7FFFFF
+        exp = (e_hi - lzc) & 0x1FF
+        uflow = int(e_hi < lzc)
+        force_zero = int(not (nza or nzb)) | int(mag == 0) | uflow
+    return _pack_py(s_hi, exp, mant, force_zero)

@@ -1,0 +1,57 @@
+"""Gate-level INT32 datapath (adder + multiplier + MAD core).
+
+Companion to :mod:`repro.gatelevel.fpu`: the paper's Table 2 compares
+module sizes and finds the FP32 unit more than 3x larger than the integer
+unit — the structural fact behind the lower FP32 AVF (more area, fewer
+critical bits). ``int_unit_model`` is the bit-exact Python mirror.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import array_multiplier, mux_n, ripple_adder
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType, Netlist
+
+#: op select encoding
+OP_ADD, OP_SUB, OP_MUL, OP_MAD = 0, 1, 2, 3
+
+
+def build_int_unit() -> Netlist:
+    """INT32 core: y = a+b | a-b | mul16(a,b) | mul16(a,b)+c, by op[2].
+
+    The multiplier is a 16x16 array — GPU integer cores classically split
+    wide multiplies into half-width steps (IMUL24/IMUL16 lowering), which
+    is what keeps the integer unit >3x smaller than the FP32 core
+    (paper Table 2).
+    """
+    b = CircuitBuilder("int_unit")
+    a = b.input("a", 32)
+    x = b.input("b", 32)
+    c = b.input("c", 32)
+    op = b.input("op", 2)
+
+    # add/sub share the adder: b xor sub, carry-in = sub
+    is_sub = b.gate(GateType.AND, op.nets[0],
+                    b.gate(GateType.NOT, op.nets[1]))
+    xb = b.bitwise(GateType.XOR, x, Bus(b, [is_sub] * 32))
+    addsub, _ = ripple_adder(b, a, xb, cin=is_sub)
+
+    prod = array_multiplier(b, a[0:16], x[0:16], 32)
+    mad, _ = ripple_adder(b, prod, c)
+
+    y = mux_n(b, op, [addsub, addsub, prod, mad])
+    b.output("y", y)
+    return b.build()
+
+
+def int_unit_model(a: int, x: int, c: int, op: int) -> int:
+    """Bit-exact mirror of :func:`build_int_unit`."""
+    a &= 0xFFFFFFFF
+    x &= 0xFFFFFFFF
+    c &= 0xFFFFFFFF
+    if op in (OP_ADD, OP_SUB):
+        return (a + ((x ^ 0xFFFFFFFF) + 1 if op == OP_SUB else x)) \
+            & 0xFFFFFFFF
+    prod = ((a & 0xFFFF) * (x & 0xFFFF)) & 0xFFFFFFFF
+    if op == OP_MUL:
+        return prod
+    return (prod + c) & 0xFFFFFFFF

@@ -1,0 +1,78 @@
+"""Netlist (de)serialization.
+
+The paper publishes its gate-level analyses in an open repository; this
+module makes our unit netlists exportable artifacts: a stable JSON schema
+(gates, fanins, DFF init values, named I/O buses) that external tools —
+or a future session resuming a campaign — can consume without running the
+generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.exceptions import NetlistError
+from repro.gatelevel.netlist import GateType, Netlist
+
+SCHEMA_VERSION = 1
+
+
+def netlist_to_dict(nl: Netlist) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": nl.name,
+        "gate_type": [int(t) for t in nl.gate_type],
+        "fanin0": [int(f) for f in nl.fanin0],
+        "fanin1": [int(f) for f in nl.fanin1],
+        "dff_init": [int(b) for b in nl.dff_init],
+        "inputs": {k: list(v) for k, v in nl.inputs.items()},
+        "outputs": {k: list(v) for k, v in nl.outputs.items()},
+    }
+
+
+def netlist_from_dict(data: dict) -> Netlist:
+    if data.get("schema") != SCHEMA_VERSION:
+        raise NetlistError(
+            f"unsupported netlist schema {data.get('schema')!r}"
+        )
+    nl = Netlist(
+        name=data["name"],
+        gate_type=np.array(data["gate_type"], dtype=np.int8),
+        fanin0=np.array(data["fanin0"], dtype=np.int32),
+        fanin1=np.array(data["fanin1"], dtype=np.int32),
+        dff_init=np.array(data["dff_init"], dtype=np.uint8),
+        inputs={k: list(v) for k, v in data["inputs"].items()},
+        outputs={k: list(v) for k, v in data["outputs"].items()},
+    )
+    nl.levelize()  # validates topology
+    return nl
+
+
+def save_netlist(nl: Netlist, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(netlist_to_dict(nl)))
+
+
+def load_netlist(path: str | Path) -> Netlist:
+    return netlist_from_dict(json.loads(Path(path).read_text()))
+
+
+def netlist_stats(nl: Netlist) -> dict:
+    """Summary row for inventories and reports."""
+    from repro.gatelevel.area import netlist_area
+
+    hist = nl.gate_histogram()
+    return {
+        "name": nl.name,
+        "nets": nl.num_nets,
+        "logic_gates": nl.num_logic_gates,
+        "dffs": nl.num_dffs,
+        "levels": int(nl.levelize().max()),
+        "area": round(netlist_area(nl), 1),
+        "inputs": sum(len(v) for v in nl.inputs.values()),
+        "outputs": sum(len(v) for v in nl.outputs.values()),
+        "gate_mix": {GateType(t).name: c for t, c in sorted(
+            (int(k), v) for k, v in hist.items())},
+    }

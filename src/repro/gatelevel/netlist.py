@@ -1,0 +1,283 @@
+"""Netlist representation and construction DSL.
+
+A netlist is a flat array of two-input gates (plus INPUT/CONST/DFF
+pseudo-gates); the output net of gate *i* is net *i*. Multi-bit values are
+:class:`Bus` objects — ordered lists of net ids, LSB first — with operator
+sugar so structural code reads like RTL.
+
+DFFs break combinational cycles: a DFF's Q is a level-0 net, its D is
+connected after the next-state logic exists via
+:meth:`CircuitBuilder.connect_dff`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import NetlistError
+
+
+class GateType(enum.IntEnum):
+    INPUT = 0
+    CONST0 = 1
+    CONST1 = 2
+    BUF = 3
+    NOT = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    NAND = 8
+    NOR = 9
+    XNOR = 10
+    DFF = 11
+
+
+TWO_INPUT = {GateType.AND, GateType.OR, GateType.XOR,
+             GateType.NAND, GateType.NOR, GateType.XNOR}
+ONE_INPUT = {GateType.BUF, GateType.NOT}
+
+
+class Bus:
+    """An ordered, LSB-first list of net ids with operator sugar."""
+
+    __slots__ = ("builder", "nets")
+
+    def __init__(self, builder: "CircuitBuilder", nets: list[int]):
+        self.builder = builder
+        self.nets = list(nets)
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __getitem__(self, i) -> "Bus | int":
+        if isinstance(i, slice):
+            return Bus(self.builder, self.nets[i])
+        return self.nets[i]
+
+    def bit(self, i: int) -> "Bus":
+        """Single-bit sub-bus."""
+        return Bus(self.builder, [self.nets[i]])
+
+    def concat(self, other: "Bus") -> "Bus":
+        """self (low bits) ++ other (high bits)."""
+        return Bus(self.builder, self.nets + other.nets)
+
+    # bitwise sugar ----------------------------------------------------
+    def __and__(self, other: "Bus") -> "Bus":
+        return self.builder.bitwise(GateType.AND, self, other)
+
+    def __or__(self, other: "Bus") -> "Bus":
+        return self.builder.bitwise(GateType.OR, self, other)
+
+    def __xor__(self, other: "Bus") -> "Bus":
+        return self.builder.bitwise(GateType.XOR, self, other)
+
+    def __invert__(self) -> "Bus":
+        b = self.builder
+        return Bus(b, [b.gate(GateType.NOT, n) for n in self.nets])
+
+
+@dataclass
+class Netlist:
+    """Finalized netlist ready for simulation."""
+
+    name: str
+    gate_type: np.ndarray          # int8[n]
+    fanin0: np.ndarray             # int32[n]
+    fanin1: np.ndarray             # int32[n]
+    dff_init: np.ndarray           # uint8[n] (only meaningful for DFFs)
+    inputs: dict[str, list[int]] = field(default_factory=dict)
+    outputs: dict[str, list[int]] = field(default_factory=dict)
+    levels: np.ndarray | None = None
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.gate_type)
+
+    @property
+    def num_dffs(self) -> int:
+        return int(np.count_nonzero(self.gate_type == GateType.DFF))
+
+    @property
+    def num_logic_gates(self) -> int:
+        seq = (GateType.INPUT, GateType.CONST0, GateType.CONST1, GateType.DFF)
+        return int(np.count_nonzero(~np.isin(self.gate_type, seq)))
+
+    def gate_histogram(self) -> dict[GateType, int]:
+        vals, counts = np.unique(self.gate_type, return_counts=True)
+        return {GateType(int(v)): int(c) for v, c in zip(vals, counts)}
+
+    def levelize(self) -> np.ndarray:
+        """Topological level per net (INPUT/CONST/DFF are level 0)."""
+        if self.levels is not None:
+            return self.levels
+        n = self.num_nets
+        level = np.zeros(n, dtype=np.int32)
+        gt = self.gate_type
+        for i in range(n):
+            t = gt[i]
+            if t in (GateType.INPUT, GateType.CONST0, GateType.CONST1,
+                     GateType.DFF):
+                continue
+            l0 = level[self.fanin0[i]]
+            if self.fanin0[i] >= i:
+                raise NetlistError(
+                    f"{self.name}: combinational gate {i} has forward fanin "
+                    f"{self.fanin0[i]} (cycle?)"
+                )
+            l1 = 0
+            if self.fanin1[i] >= 0:
+                if self.fanin1[i] >= i:
+                    raise NetlistError(
+                        f"{self.name}: combinational gate {i} has forward "
+                        f"fanin {self.fanin1[i]}"
+                    )
+                l1 = level[self.fanin1[i]]
+            level[i] = max(l0, l1) + 1
+        self.levels = level
+        return level
+
+
+class CircuitBuilder:
+    """Builds a :class:`Netlist` gate by gate.
+
+    Construction order defines net ids; combinational fanins must already
+    exist (DFF Q nets exist from declaration, their D is wired later), so a
+    finished builder is topologically ordered by construction.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._types: list[int] = []
+        self._f0: list[int] = []
+        self._f1: list[int] = []
+        self._dff_init: list[int] = []
+        self._inputs: dict[str, list[int]] = {}
+        self._outputs: dict[str, list[int]] = {}
+        self._pending_dffs: dict[int, int | None] = {}
+        self._const = {}
+
+    # -- primitive gates -------------------------------------------------
+    def gate(self, t: GateType, a: int = -1, b: int = -1, init: int = 0) -> int:
+        idx = len(self._types)
+        if t in TWO_INPUT and (a < 0 or b < 0):
+            raise NetlistError(f"{t.name} needs two fanins")
+        if t in ONE_INPUT and a < 0:
+            raise NetlistError(f"{t.name} needs one fanin")
+        for f in (a, b):
+            if f >= idx:
+                raise NetlistError(f"fanin {f} does not exist yet")
+        self._types.append(int(t))
+        self._f0.append(a)
+        self._f1.append(b)
+        self._dff_init.append(init & 1)
+        if t == GateType.DFF:
+            self._pending_dffs[idx] = None
+        return idx
+
+    def input(self, name: str, width: int = 1) -> Bus:
+        if name in self._inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        nets = [self.gate(GateType.INPUT) for _ in range(width)]
+        self._inputs[name] = nets
+        return Bus(self, nets)
+
+    def const(self, value: int, width: int = 1) -> Bus:
+        nets = []
+        for i in range(width):
+            bit = (value >> i) & 1
+            key = bit
+            if key not in self._const:
+                self._const[key] = self.gate(
+                    GateType.CONST1 if bit else GateType.CONST0
+                )
+            nets.append(self._const[key])
+        return Bus(self, nets)
+
+    def dff(self, width: int = 1, init: int = 0) -> Bus:
+        """Declare a DFF bank; connect D later with :meth:`connect_dff`."""
+        nets = [self.gate(GateType.DFF, init=(init >> i) & 1)
+                for i in range(width)]
+        return Bus(self, nets)
+
+    def connect_dff(self, q: Bus, d: Bus) -> None:
+        if len(q) != len(d):
+            raise NetlistError("DFF width mismatch")
+        for qn, dn in zip(q.nets, d.nets):
+            if qn not in self._pending_dffs:
+                raise NetlistError(f"net {qn} is not a DFF output")
+            if self._pending_dffs[qn] is not None:
+                raise NetlistError(f"DFF {qn} already connected")
+            self._pending_dffs[qn] = dn
+            self._f0[qn] = dn
+
+    def output(self, name: str, bus: Bus) -> None:
+        if name in self._outputs:
+            raise NetlistError(f"duplicate output {name!r}")
+        self._outputs[name] = list(bus.nets)
+
+    # -- bus helpers -------------------------------------------------------
+    def bitwise(self, t: GateType, a: Bus, b: Bus) -> Bus:
+        if len(a) != len(b):
+            raise NetlistError(f"bus width mismatch {len(a)} vs {len(b)}")
+        return Bus(self, [self.gate(t, x, y) for x, y in zip(a.nets, b.nets)])
+
+    def buf(self, a: Bus) -> Bus:
+        return Bus(self, [self.gate(GateType.BUF, n) for n in a.nets])
+
+    def mux(self, sel: int, a: Bus, b: Bus) -> Bus:
+        """Per-bit 2:1 mux: sel ? b : a (sel is a single net id)."""
+        if len(a) != len(b):
+            raise NetlistError("mux width mismatch")
+        ns = self.gate(GateType.NOT, sel)
+        out = []
+        for x, y in zip(a.nets, b.nets):
+            t0 = self.gate(GateType.AND, x, ns)
+            t1 = self.gate(GateType.AND, y, sel)
+            out.append(self.gate(GateType.OR, t0, t1))
+        return Bus(self, out)
+
+    def and_reduce(self, a: Bus) -> int:
+        return self._reduce(GateType.AND, a)
+
+    def or_reduce(self, a: Bus) -> int:
+        return self._reduce(GateType.OR, a)
+
+    def xor_reduce(self, a: Bus) -> int:
+        return self._reduce(GateType.XOR, a)
+
+    def _reduce(self, t: GateType, a: Bus) -> int:
+        nets = list(a.nets)
+        if not nets:
+            raise NetlistError("reduce of empty bus")
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.gate(t, nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    # -- finalize ----------------------------------------------------------
+    def build(self) -> Netlist:
+        for q, d in self._pending_dffs.items():
+            if d is None:
+                raise NetlistError(f"{self.name}: DFF {q} never connected")
+        nl = Netlist(
+            name=self.name,
+            gate_type=np.array(self._types, dtype=np.int8),
+            fanin0=np.array(self._f0, dtype=np.int32),
+            fanin1=np.array(self._f1, dtype=np.int32),
+            dff_init=np.array(self._dff_init, dtype=np.uint8),
+            inputs=dict(self._inputs),
+            outputs=dict(self._outputs),
+        )
+        nl.levelize()
+        return nl

@@ -1,0 +1,103 @@
+"""Gate-level SFU (special function unit) datapath.
+
+Real GPU SFUs evaluate transcendental functions by iterating a shared
+multiply-add datapath over polynomial coefficients, and a *pair* of SFUs
+serves all the lanes of a sub-partition — the structural sharing behind
+the multi-thread corruptions the paper observes for FSIN/FEXP. This model
+implements exactly that: one Q16.16 fixed-point Horner step
+``acc' = ((acc * x) >> 16) + coeff`` with a coefficient ROM and a
+step/lane sequencing FSM. ``sfu_model`` mirrors it bit-exactly.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import equals_const, mux_n, ripple_adder
+from repro.gatelevel.circuits import array_multiplier
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType, Netlist
+
+#: Horner steps per evaluation (cubic polynomial)
+NUM_STEPS = 4
+#: default coefficient ROM: a Q16.16 cubic (sin-like Taylor shape)
+DEFAULT_COEFFS = (
+    0x00000000,             # c3' seed (acc starts at 0 + c3)
+    0x0000FFF0,             # ...
+    0xFFFD5550,             # -1/6 in Q16.16-ish
+    0x00010000,             # 1.0
+)
+
+
+def build_sfu(coeffs: tuple[int, int, int, int] = DEFAULT_COEFFS) -> Netlist:
+    """SFU core: iterated Horner step with sequencing FSM.
+
+    Inputs: ``start`` (pulse, latches ``x``), ``x[32]`` (Q16.16 operand),
+    ``lane_in[3]`` (requesting lane). Outputs: ``y[32]``, ``y_valid``,
+    ``lane_out[3]``, ``busy``.
+    """
+    b = CircuitBuilder("sfu")
+    start = b.input("start", 1).nets[0]
+    x_in = b.input("x", 32)
+    lane_in = b.input("lane_in", 3)
+
+    busy = b.dff(1)
+    step = b.dff(3)
+    acc = b.dff(32)
+    x_r = b.dff(32)
+    lane_r = b.dff(3)
+
+    idle = b.gate(GateType.NOT, busy.nets[0])
+    go = b.gate(GateType.AND, idle, start)
+    last_step = equals_const(b, step, NUM_STEPS - 1)
+    stepping = b.gate(GateType.AND, busy.nets[0],
+                      b.gate(GateType.NOT, last_step))
+    done = b.gate(GateType.AND, busy.nets[0], last_step)
+
+    # coefficient ROM selected by the step counter
+    rom = [b.const(c, 32) for c in coeffs]
+    coeff = mux_n(b, step[0:2], rom)
+
+    # Horner step: acc' = ((acc * x) >> 16) + coeff, truncating Q16.16
+    prod = array_multiplier(b, acc, x_r[0:16], 48)
+    shifted = prod[16:48]
+    horner, _ = ripple_adder(b, shifted, coeff)
+
+    # state updates
+    nxt_busy = b.mux(go, b.mux(done, busy, b.const(0, 1)), b.const(1, 1))
+    b.connect_dff(busy, nxt_busy)
+    zero3 = b.const(0, 3)
+    step_inc = ripple_adder(b, step, b.const(1, 3))[0]
+    nxt_step = b.mux(go, b.mux(busy.nets[0], step, step_inc), zero3)
+    b.connect_dff(step, nxt_step)
+    nxt_acc = b.mux(go, b.mux(busy.nets[0], acc, horner), b.const(0, 32))
+    b.connect_dff(acc, nxt_acc)
+    b.connect_dff(x_r, b.mux(go, x_r, x_in))
+    b.connect_dff(lane_r, b.mux(go, lane_r, lane_in))
+
+    # on the final step the result includes the live Horner output
+    b.output("y", b.mux(done, acc, horner))
+    b.output("y_valid", Bus(b, [done]))
+    b.output("lane_out", b.buf(lane_r))
+    b.output("busy", b.buf(busy))
+    return b.build()
+
+
+def sfu_model(x: int, coeffs: tuple[int, int, int, int] = DEFAULT_COEFFS
+              ) -> int:
+    """Bit-exact mirror: the accumulator value after NUM_STEPS steps."""
+    x16 = x & 0xFFFF
+    acc = 0
+    for c in coeffs:
+        acc = (((acc * x16) >> 16) + c) & 0xFFFFFFFF
+    return acc
+
+
+def run_sfu_eval(sim, x: int, lane: int) -> tuple[int, int, int]:
+    """Drive one evaluation; returns (y, lane_out, cycles_taken)."""
+    idle = {"start": 0, "x": 0, "lane_in": 0}
+    sim.cycle(dict(idle, start=1, x=x, lane_in=lane))
+    for cyc in range(2 * NUM_STEPS + 4):
+        out = sim.cycle(idle)
+        if int(sim.lane_values(out["y_valid"], 1)[0]):
+            y = int(sim.lane_values(out["y"], 1)[0])
+            lo = int(sim.lane_values(out["lane_out"], 1)[0])
+            return y, lo, cyc + 1
+    raise RuntimeError("SFU evaluation never completed")

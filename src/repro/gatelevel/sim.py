@@ -1,0 +1,228 @@
+"""Levelized 64-way bit-parallel logic simulation with stuck-at injection.
+
+Each net's value is a row of ``num_words`` uint64 words = ``64*num_words``
+independent Boolean machines ("lanes"). Two usage modes:
+
+* **pattern-parallel** (golden simulation): lane *j* carries pattern *j*;
+* **fault-parallel** (campaigns): every lane carries the *same* stimulus,
+  and lane *j* has stuck-at fault *j* forced onto its net — the classic
+  parallel single-fault propagation scheme. One simulation pass evaluates
+  up to ``64*num_words`` faults simultaneously.
+
+Faults are applied after the level containing their net is evaluated, so
+downstream logic sees the forced value while upstream logic is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigError, NetlistError
+from repro.gatelevel.faults import StuckAtFault
+from repro.gatelevel.netlist import GateType, Netlist
+
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class FaultBatch:
+    """Up to ``64*num_words`` faults packed one per lane."""
+
+    faults: list[StuckAtFault]
+    num_words: int
+
+    def __post_init__(self) -> None:
+        if len(self.faults) > 64 * self.num_words:
+            raise ConfigError(
+                f"{len(self.faults)} faults exceed capacity "
+                f"{64 * self.num_words}"
+            )
+
+    def lane_of(self, i: int) -> tuple[int, int]:
+        """(word, bit) lane carrying fault *i*."""
+        return i // 64, i % 64
+
+    def compile(self, levels: np.ndarray):
+        """Group per level: unique (net, word) rows with clear/set masks."""
+        per_key: dict[tuple[int, int], list[int]] = {}
+        for i, f in enumerate(self.faults):
+            w, b = self.lane_of(i)
+            per_key.setdefault((f.net, w), []).append(i)
+        by_level: dict[int, list[tuple[int, int, int, int]]] = {}
+        for (net, w), idxs in per_key.items():
+            clear = 0
+            setm = 0
+            for i in idxs:
+                _, b = self.lane_of(i)
+                m = 1 << b
+                clear |= m
+                if self.faults[i].stuck_at:
+                    setm |= m
+            by_level.setdefault(int(levels[net]), []).append((net, w, clear, setm))
+        compiled = {}
+        for lvl, rows in by_level.items():
+            nets = np.array([r[0] for r in rows], dtype=np.int64)
+            words = np.array([r[1] for r in rows], dtype=np.int64)
+            clear = np.array([r[2] for r in rows], dtype=np.uint64)
+            setm = np.array([r[3] for r in rows], dtype=np.uint64)
+            compiled[lvl] = (nets, words, clear, setm)
+        return compiled
+
+
+class LogicSim:
+    """Simulates one :class:`Netlist` cycle by cycle."""
+
+    def __init__(self, netlist: Netlist, num_words: int = 1):
+        self.netlist = netlist
+        self.num_words = num_words
+        self.levels = netlist.levelize()
+        self.vals = np.zeros((netlist.num_nets, num_words), dtype=np.uint64)
+        self._dff_nets = np.where(netlist.gate_type == GateType.DFF)[0]
+        self._dff_d = netlist.fanin0[self._dff_nets]
+        self._const0 = np.where(netlist.gate_type == GateType.CONST0)[0]
+        self._const1 = np.where(netlist.gate_type == GateType.CONST1)[0]
+        self.state = np.zeros((len(self._dff_nets), num_words), dtype=np.uint64)
+        self._groups = self._compile_groups()
+        self._fault_rows: dict[int, tuple] = {}
+        self._max_level = int(self.levels.max()) if netlist.num_nets else 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def _compile_groups(self):
+        """Per level, per gate-type evaluation index arrays."""
+        nl = self.netlist
+        groups: list[list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = []
+        max_level = int(self.levels.max()) if nl.num_nets else 0
+        comb = ~np.isin(
+            nl.gate_type,
+            (GateType.INPUT, GateType.CONST0, GateType.CONST1, GateType.DFF),
+        )
+        for lvl in range(1, max_level + 1):
+            sel = comb & (self.levels == lvl)
+            lvl_groups = []
+            for t in (GateType.BUF, GateType.NOT, GateType.AND, GateType.OR,
+                      GateType.XOR, GateType.NAND, GateType.NOR, GateType.XNOR):
+                m = sel & (nl.gate_type == t)
+                if m.any():
+                    idx = np.where(m)[0]
+                    lvl_groups.append((t, idx, nl.fanin0[idx], nl.fanin1[idx]))
+            groups.append(lvl_groups)
+        return groups
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset DFFs to their declared init values (all lanes)."""
+        init = self.netlist.dff_init[self._dff_nets].astype(np.uint64)
+        self.state[:] = np.where(init[:, None] > 0, ALL_ONES, np.uint64(0))
+
+    def set_faults(self, batch: FaultBatch | None) -> None:
+        """Install (or clear) the fault batch for subsequent cycles."""
+        if batch is None:
+            self._fault_rows = {}
+            return
+        if batch.num_words != self.num_words:
+            raise ConfigError("fault batch word count mismatch")
+        self._fault_rows = batch.compile(self.levels)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, value: int, width: int) -> np.ndarray:
+        """(width, W) input array with every lane carrying *value*."""
+        out = np.zeros((width, self.num_words), dtype=np.uint64)
+        for i in range(width):
+            if (value >> i) & 1:
+                out[i, :] = ALL_ONES
+        return out
+
+    def pack_patterns(self, values, width: int) -> np.ndarray:
+        """(width, W) input array; lane *j* carries ``values[j]``."""
+        values = np.asarray(values, dtype=np.uint64)
+        n = len(values)
+        if n > 64 * self.num_words:
+            raise ConfigError("too many patterns for lane capacity")
+        out = np.zeros((width, self.num_words), dtype=np.uint64)
+        lanes = np.arange(n)
+        words, bits = lanes // 64, lanes % 64
+        for i in range(width):
+            bitvals = ((values >> np.uint64(i)) & np.uint64(1)) << bits.astype(
+                np.uint64
+            )
+            np.bitwise_or.at(out[i], words, bitvals)
+        return out
+
+    def unpack_lanes(self, arr: np.ndarray, n_lanes: int) -> np.ndarray:
+        """(n_lanes, width) bit matrix from a (width, W) output array."""
+        width = arr.shape[0]
+        shifts = np.arange(64, dtype=np.uint64)
+        bits = ((arr[:, :, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        return bits.reshape(width, self.num_words * 64).T[:n_lanes]
+
+    def lane_values(self, arr: np.ndarray, n_lanes: int) -> np.ndarray:
+        """Integer value of the bus per lane (LSB-first)."""
+        bits = self.unpack_lanes(arr, n_lanes).astype(np.uint64)
+        weights = np.uint64(1) << np.arange(arr.shape[0], dtype=np.uint64)
+        return (bits * weights).sum(axis=1, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    def cycle(self, inputs: dict[str, int | np.ndarray]) -> dict[str, np.ndarray]:
+        """Advance one clock cycle; returns {output_name: (width, W)}."""
+        nl = self.netlist
+        vals = self.vals
+        # 1. drive inputs
+        for name, nets in nl.inputs.items():
+            if name not in inputs:
+                raise NetlistError(f"{nl.name}: missing input {name!r}")
+            v = inputs[name]
+            if isinstance(v, (int, np.integer)):
+                v = self.broadcast(int(v), len(nets))
+            vals[nets] = v
+        # 2. constants and DFF outputs
+        vals[self._const0] = 0
+        vals[self._const1] = ALL_ONES
+        if len(self._dff_nets):
+            vals[self._dff_nets] = self.state
+        # 3. level-0 faults (inputs, DFF Q, consts)
+        self._apply_faults(0)
+        # 4. combinational levels
+        for lvl, groups in enumerate(self._groups, start=1):
+            for t, idx, f0, f1 in groups:
+                a = vals[f0]
+                if t == GateType.BUF:
+                    vals[idx] = a
+                elif t == GateType.NOT:
+                    vals[idx] = ~a
+                else:
+                    b = vals[f1]
+                    if t == GateType.AND:
+                        vals[idx] = a & b
+                    elif t == GateType.OR:
+                        vals[idx] = a | b
+                    elif t == GateType.XOR:
+                        vals[idx] = a ^ b
+                    elif t == GateType.NAND:
+                        vals[idx] = ~(a & b)
+                    elif t == GateType.NOR:
+                        vals[idx] = ~(a | b)
+                    else:  # XNOR
+                        vals[idx] = ~(a ^ b)
+            self._apply_faults(lvl)
+        # 5. sample outputs
+        out = {name: vals[nets].copy() for name, nets in nl.outputs.items()}
+        # 6. clock DFFs (D values already include any fault forcing)
+        if len(self._dff_nets):
+            self.state = vals[self._dff_d].copy()
+        return out
+
+    def _apply_faults(self, level: int) -> None:
+        rows = self._fault_rows.get(level)
+        if rows is None:
+            return
+        nets, words, clear, setm = rows
+        cur = self.vals[nets, words]
+        self.vals[nets, words] = (cur & ~clear) | setm
+
+    # convenience -------------------------------------------------------
+    def run(self, input_seq: list[dict]) -> list[dict[str, np.ndarray]]:
+        """Run a multi-cycle transaction; returns outputs per cycle."""
+        return [self.cycle(inp) for inp in input_seq]

@@ -1,0 +1,55 @@
+"""Shared structure for gate-level unit campaigns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gatelevel.netlist import Netlist
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+
+#: architectural registers-per-thread bound used to split IRA from IVRA
+ARCH_REGS = 64
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One instruction-level exciting pattern extracted by profiling.
+
+    The gate-level campaigns replay these patterns into the unit inputs;
+    the fields mirror what the hardware-profiling step records for each
+    dynamic instruction of the 14 profiling workloads.
+    """
+
+    word: int                 # 64-bit encoded control word
+    imm: int                  # 32-bit immediate word
+    warp_id: int              # warp slot (0..15)
+    thread_mask: int          # 32-bit active-thread mask
+    cta_id: int               # CTA slot (0..15)
+    pc: int = 0               # fetch PC of the instruction
+    opcode: int = 0           # convenience copy of the opcode field
+
+    @classmethod
+    def from_instruction(cls, instr: Instruction, warp_id: int = 0,
+                         thread_mask: int = 0xFFFFFFFF, cta_id: int = 0,
+                         pc: int = 0) -> "Stimulus":
+        enc = encode(instr)
+        return cls(word=enc.word, imm=enc.imm, warp_id=warp_id & 0xF,
+                   thread_mask=thread_mask & 0xFFFFFFFF, cta_id=cta_id & 0xF,
+                   pc=pc & 0xFF, opcode=enc.word & 0xFF)
+
+
+@dataclass
+class UnitModel:
+    """A unit netlist plus its campaign driver and output semantics."""
+
+    name: str
+    netlist: Netlist
+    #: stimulus -> per-cycle input dicts driving one transaction
+    transaction: Callable[[Stimulus], list[dict[str, int]]]
+    #: output bus name -> semantic tag ("opcode", "reg_dst", "thread_mask", ...)
+    output_semantics: dict[str, str]
+    #: outputs whose golden assertion defines transaction liveness; a fault
+    #: that keeps them deasserted for the whole transaction is a HW hang
+    liveness_outputs: list[str] = field(default_factory=list)

@@ -1,0 +1,167 @@
+"""Gate-level instruction decoder unit.
+
+Decodes the 64-bit control word into operand fields and control signals
+(validity, unit class, memory controls, predicate controls) and forwards
+the parallel-execution context (thread mask, warp, CTA, lane enables) of
+the decoded instruction. A small request/acknowledge FSM sequences the
+handshake with the downstream pipeline — the structure whose faults
+produce the paper's hardware hangs. Faults here produce the paper's
+widest error spectrum (Table 6) because the decoder touches every field
+of the machine code.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import equals_const
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType
+from repro.gatelevel.units.base import Stimulus, UnitModel
+from repro.isa.encoding import (
+    FIELD_AUX,
+    FIELD_DST,
+    FIELD_OPCODE,
+    FIELD_PDST,
+    FIELD_PRED,
+    FIELD_PRED_NEG,
+    FIELD_SRC,
+    FIELD_USE_IMM,
+)
+from repro.isa.opcodes import Op, OPCODE_INFO, OpClass
+
+
+def _field(bus: Bus, spec: tuple[int, int]) -> Bus:
+    lsb, width = spec
+    return bus[lsb:lsb + width]
+
+
+def build_decoder_unit() -> UnitModel:
+    b = CircuitBuilder("decoder")
+    instr = b.input("instr", 64)
+    imm = b.input("imm", 32)
+    mask = b.input("thread_mask", 32)
+    warp = b.input("warp_id", 4)
+    cta = b.input("cta_id", 4)
+    valid_in = b.input("valid_in", 1)
+    v = valid_in.nets[0]
+
+    # handshake FSM: IDLE -> DECODE -> ACK -> IDLE
+    state = b.dff(2)
+    in_idle = equals_const(b, state, 0)
+    in_decode = equals_const(b, state, 1)
+    in_ack = equals_const(b, state, 2)
+    start = b.gate(GateType.AND, in_idle, v)
+
+    opcode = _field(instr, FIELD_OPCODE)
+    # per-opcode match lines
+    is_op: dict[Op, int] = {
+        op: equals_const(b, opcode, int(op)) for op in Op
+    }
+    valid_op = b.or_reduce(Bus(b, list(is_op.values())))
+
+    def any_of(ops) -> int:
+        return b.or_reduce(Bus(b, [is_op[o] for o in ops]))
+
+    class_nets = []
+    for cl in OpClass:
+        members = [op for op in Op if OPCODE_INFO[op].op_class is cl]
+        class_nets.append(any_of(members))
+    writes_reg = any_of([op for op in Op if OPCODE_INFO[op].writes_reg])
+    writes_pred = any_of([op for op in Op if OPCODE_INFO[op].writes_pred])
+    is_load = any_of([Op.GLD, Op.LDS, Op.LDC])
+    is_store = any_of([Op.GST, Op.STS])
+    mem_shared = any_of([Op.LDS, Op.STS])
+    mem_const = any_of([Op.LDC])
+    is_branch = is_op[Op.BRA]
+
+    def gated(bus: Bus) -> Bus:
+        return b.bitwise(GateType.AND, bus,
+                         Bus(b, [v] * len(bus)))
+
+    b.output("opcode", b.buf(opcode))
+    b.output("valid_op", Bus(b, [b.gate(GateType.AND, valid_op, v)]))
+    b.output("op_class", Bus(b, class_nets))
+    b.output("dst", b.buf(_field(instr, FIELD_DST)))
+    b.output("src0", b.buf(_field(instr, FIELD_SRC[0])))
+    b.output("src1", b.buf(_field(instr, FIELD_SRC[1])))
+    b.output("src2", b.buf(_field(instr, FIELD_SRC[2])))
+    b.output("pred", b.buf(_field(instr, FIELD_PRED)))
+    b.output("pred_neg", b.buf(_field(instr, FIELD_PRED_NEG)))
+    b.output("pdst", b.buf(_field(instr, FIELD_PDST)))
+    b.output("use_imm", b.buf(_field(instr, FIELD_USE_IMM)))
+    b.output("aux", b.buf(_field(instr, FIELD_AUX)))
+    b.output("imm_out", b.buf(imm))
+    b.output("writes_reg", Bus(b, [writes_reg]))
+    b.output("writes_pred", Bus(b, [writes_pred]))
+    b.output("is_load", Bus(b, [is_load]))
+    b.output("is_store", Bus(b, [is_store]))
+    b.output("mem_shared", Bus(b, [mem_shared]))
+    b.output("mem_const", Bus(b, [mem_const]))
+    b.output("is_branch", Bus(b, [is_branch]))
+    b.output("thread_mask_out", gated(mask))
+    b.output("warp_out", b.buf(warp))
+    b.output("cta_out", b.buf(cta))
+    # lane i serves thread sub-slots i, i+8, i+16, i+24
+    lanes = []
+    for i in range(8):
+        group = Bus(b, [mask.nets[i], mask.nets[i + 8],
+                        mask.nets[i + 16], mask.nets[i + 24]])
+        lanes.append(b.gate(GateType.AND, b.or_reduce(group), v))
+    b.output("lane_enable", Bus(b, lanes))
+
+    # FSM next-state and done handshake
+    from repro.gatelevel.circuits import mux_n
+
+    nxt_state = mux_n(
+        b, state,
+        [b.mux(start, b.const(0, 2), b.const(1, 2)),  # IDLE
+         b.const(2, 2),                               # DECODE -> ACK
+         b.const(0, 2),                               # ACK -> IDLE
+         b.const(0, 2)],
+    )
+    b.connect_dff(state, nxt_state)
+    b.output("decode_done", Bus(b, [in_ack]))
+
+    def transaction(stim: Stimulus) -> list[dict[str, int]]:
+        cyc = {
+            "instr": stim.word,
+            "imm": stim.imm,
+            "thread_mask": stim.thread_mask,
+            "warp_id": stim.warp_id,
+            "cta_id": stim.cta_id,
+            "valid_in": 1,
+        }
+        return [dict(cyc), dict(cyc), dict(cyc)]
+
+    semantics = {
+        "opcode": "opcode",
+        "valid_op": "opcode_valid",
+        "op_class": "opcode",
+        "dst": "reg_dst",
+        "src0": "reg_src",
+        "src1": "reg_src",
+        "src2": "reg_src",
+        "pred": "ctrl_pred",
+        "pred_neg": "ctrl_pred",
+        "pdst": "ctrl_pred",
+        "use_imm": "imm",
+        "aux": "aux",
+        "imm_out": "imm",
+        "writes_reg": "opcode",
+        "writes_pred": "ctrl_pred",
+        "is_load": "mem_src",
+        "is_store": "mem_dst",
+        "mem_shared": "mem_src",
+        "mem_const": "mem_src",
+        "is_branch": "ctrl_pred",
+        "thread_mask_out": "thread_mask",
+        "warp_out": "warp",
+        "cta_out": "cta",
+        "lane_enable": "lane",
+        "decode_done": "liveness",
+    }
+    return UnitModel(
+        name="decoder",
+        netlist=b.build(),
+        transaction=transaction,
+        output_semantics=semantics,
+        liveness_outputs=["decode_done"],
+    )

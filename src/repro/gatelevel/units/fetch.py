@@ -1,0 +1,135 @@
+"""Gate-level fetch unit.
+
+Sequential: a 16-entry per-warp PC table, a request/latch/emit FSM, the
+instruction register, and the fetch-packet context registers (thread
+mask, warp, CTA). The environment (instruction memory) answers the
+address the unit emits — in campaigns the answer is always the *golden*
+instruction word, so any corruption of the fetched packet is the unit's
+own doing, exactly as in the paper's localized injections.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import (
+    equals_const,
+    incrementer,
+    mux_n,
+    onehot_decoder,
+    register_bank,
+)
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType
+from repro.gatelevel.units.base import Stimulus, UnitModel
+
+NUM_WARPS = 16
+PC_BITS = 8
+
+# FSM states
+IDLE, WAIT, EMIT = 0, 1, 2
+
+
+def build_fetch_unit() -> UnitModel:
+    b = CircuitBuilder("fetch")
+    req_valid = b.input("req_valid", 1).nets[0]
+    req_warp = b.input("req_warp", 4)
+    mask_in = b.input("mask_in", 32)
+    cta_in = b.input("cta_in", 4)
+    pc_wr_en = b.input("pc_wr_en", 1).nets[0]
+    pc_wr_slot = b.input("pc_wr_slot", 4)
+    pc_wr_val = b.input("pc_wr_val", PC_BITS)
+    imem_valid = b.input("imem_valid", 1).nets[0]
+    imem_data = b.input("imem_data", 64)
+
+    state = b.dff(2)  # FSM state register
+    in_idle = equals_const(b, state, IDLE)
+    in_wait = equals_const(b, state, WAIT)
+    in_emit = equals_const(b, state, EMIT)
+
+    start = b.gate(GateType.AND, in_idle, req_valid)
+    latch = b.gate(GateType.AND, in_wait, imem_valid)
+
+    # context registers captured at request time
+    warp_r = register_bank(b, 4, start, req_warp)
+    mask_r = register_bank(b, 32, start, mask_in)
+    cta_r = register_bank(b, 4, start, cta_in)
+
+    # PC table with per-slot write: external writes (branch redirect /
+    # kernel start) and the post-fetch increment
+    sel_onehot = onehot_decoder(b, warp_r)
+    wr_onehot = onehot_decoder(b, pc_wr_slot)
+    pcs = []
+    for w in range(NUM_WARPS):
+        q = b.dff(PC_BITS)
+        inc = incrementer(b, q)
+        upd_fetch = b.gate(GateType.AND, latch, sel_onehot.nets[w])
+        upd_ext = b.gate(GateType.AND, pc_wr_en, wr_onehot.nets[w])
+        nxt = b.mux(upd_fetch, q, inc)
+        nxt = b.mux(upd_ext, nxt, pc_wr_val)
+        b.connect_dff(q, nxt)
+        pcs.append(q)
+    # at request time warp_r is not yet latched: select by the live request
+    warp_now = b.mux(start, warp_r, req_warp)
+    pc_sel = mux_n(b, warp_now, pcs)
+
+    # instruction register
+    ir = register_bank(b, 64, latch, imem_data)
+    pc_r = register_bank(b, PC_BITS, start, pc_sel)
+
+    # next state
+    nxt_state = mux_n(
+        b, state,
+        [b.mux(start, b.const(IDLE, 2), b.const(WAIT, 2)),   # IDLE
+         b.mux(latch, b.const(WAIT, 2), b.const(EMIT, 2)),   # WAIT
+         b.const(IDLE, 2),                                   # EMIT
+         b.const(IDLE, 2)],                                  # (unused)
+    )
+    b.connect_dff(state, nxt_state)
+
+    # outputs
+    b.output("imem_req", Bus(b, [b.gate(GateType.AND, in_idle, req_valid)]))
+    b.output("imem_addr", b.buf(pc_sel))
+    b.output("fetch_valid", Bus(b, [in_emit]))
+    b.output("instr_out", b.buf(ir))
+    b.output("pc_out", b.buf(pc_r))
+    b.output("warp_out", b.buf(warp_r))
+    b.output("mask_out", b.buf(mask_r))
+    b.output("cta_out", b.buf(cta_r))
+    lanes = []
+    for i in range(8):
+        grp = Bus(b, [mask_r.nets[i], mask_r.nets[i + 8],
+                      mask_r.nets[i + 16], mask_r.nets[i + 24]])
+        lanes.append(b.gate(GateType.AND, b.or_reduce(grp), in_emit))
+    b.output("lane_enable", Bus(b, lanes))
+
+    def transaction(stim: Stimulus) -> list[dict[str, int]]:
+        idle = {
+            "req_valid": 0, "req_warp": 0, "mask_in": 0, "cta_in": 0,
+            "pc_wr_en": 0, "pc_wr_slot": 0, "pc_wr_val": 0,
+            "imem_valid": 0, "imem_data": 0,
+        }
+        c0 = dict(idle, pc_wr_en=1, pc_wr_slot=stim.warp_id,
+                  pc_wr_val=stim.pc)
+        c1 = dict(idle, req_valid=1, req_warp=stim.warp_id,
+                  mask_in=stim.thread_mask, cta_in=stim.cta_id)
+        c2 = dict(idle, imem_valid=1, imem_data=stim.word)
+        c3 = dict(idle)   # EMIT cycle: outputs carry the fetch packet
+        c4 = dict(idle)
+        return [c0, c1, c2, c3, c4]
+
+    semantics = {
+        "imem_req": "valid",
+        "imem_addr": "pc",
+        "fetch_valid": "valid",
+        "instr_out": "instr_word",
+        "pc_out": "pc",
+        "warp_out": "warp",
+        "mask_out": "thread_mask",
+        "cta_out": "cta",
+        "lane_enable": "lane",
+    }
+    return UnitModel(
+        name="fetch",
+        netlist=b.build(),
+        transaction=transaction,
+        output_semantics=semantics,
+        liveness_outputs=["fetch_valid"],
+    )

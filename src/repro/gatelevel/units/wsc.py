@@ -1,0 +1,182 @@
+"""Gate-level Warp Scheduler Controller (WSC).
+
+The WSC owns the per-warp-slot state table (active/ready/at-barrier flags,
+32-bit thread mask, CTA id, buffered opcode), a rotating-priority issue
+arbiter, barrier bookkeeping, and the parallel-parameter generation
+(register-file and shared-memory base offsets) for the issued warp. It is
+the largest of the three units (Table 4: ~114% of an FP32 core) and the
+one whose faults map dominantly onto the parallel-management error models
+(IAT/IAW/IAC/IAL/IPP, Table 6).
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.circuits import (
+    mux_n,
+    onehot_decoder,
+    priority_encoder,
+    ripple_adder,
+    rotate_right,
+)
+from repro.gatelevel.netlist import Bus, CircuitBuilder, GateType
+from repro.gatelevel.units.base import Stimulus, UnitModel
+
+NUM_SLOTS = 16
+REGS_PER_WARP_SHIFT = 5   # rf_base = warp * 32
+SHMEM_PER_CTA_SHIFT = 4   # shmem_base = cta * 16
+
+
+def build_wsc_unit() -> UnitModel:
+    b = CircuitBuilder("wsc")
+    alloc_en = b.input("alloc_en", 1).nets[0]
+    alloc_slot = b.input("alloc_slot", 4)
+    alloc_mask = b.input("alloc_mask", 32)
+    alloc_cta = b.input("alloc_cta", 4)
+    alloc_opc = b.input("alloc_opc", 8)
+    issue_req = b.input("issue_req", 1).nets[0]
+    ready_set_en = b.input("ready_set_en", 1).nets[0]
+    ready_set_slot = b.input("ready_set_slot", 4)
+    barrier_en = b.input("barrier_en", 1).nets[0]
+    barrier_slot = b.input("barrier_slot", 4)
+    done_en = b.input("done_en", 1).nets[0]
+    done_slot = b.input("done_slot", 4)
+
+    alloc_oh = onehot_decoder(b, alloc_slot)
+    ready_oh = onehot_decoder(b, ready_set_slot)
+    barrier_oh = onehot_decoder(b, barrier_slot)
+    done_oh = onehot_decoder(b, done_slot)
+
+    # ---------------- per-slot state -------------------------------------
+    active = b.dff(NUM_SLOTS)
+    ready = b.dff(NUM_SLOTS)
+    at_barrier = b.dff(NUM_SLOTS)
+    masks = [b.dff(32) for _ in range(NUM_SLOTS)]
+    ctas = [b.dff(4) for _ in range(NUM_SLOTS)]
+    opcs = [b.dff(8) for _ in range(NUM_SLOTS)]
+    rr_ptr = b.dff(4)
+
+    # ---------------- issue arbitration ----------------------------------
+    eligible = active & ready
+    rotated = rotate_right(b, eligible, rr_ptr)
+    enc, any_eligible = priority_encoder(b, rotated)
+    grant_idx, _ = ripple_adder(b, enc, rr_ptr)  # (enc + ptr) mod 16
+    issue_valid = b.gate(GateType.AND, issue_req, any_eligible)
+    grant_oh_raw = onehot_decoder(b, grant_idx)
+    grant_oh = b.bitwise(GateType.AND, grant_oh_raw,
+                         Bus(b, [issue_valid] * NUM_SLOTS))
+
+    issue_mask = mux_n(b, grant_idx, masks)
+    issue_cta = mux_n(b, grant_idx, ctas)
+    issue_opc = mux_n(b, grant_idx, opcs)
+
+    # parallel parameters of the issued warp
+    zero5 = b.const(0, REGS_PER_WARP_SHIFT)
+    rf_base = zero5.concat(b.buf(grant_idx))            # warp << 5 (9 bits)
+    zero4 = b.const(0, SHMEM_PER_CTA_SHIFT)
+    shmem_base = zero4.concat(b.buf(issue_cta))         # cta << 4 (8 bits)
+
+    # ---------------- barrier bookkeeping --------------------------------
+    barrier_pending = at_barrier & active
+    all_arrived_bits = b.bitwise(
+        GateType.OR, barrier_pending, ~active
+    )
+    all_arrived = b.and_reduce(all_arrived_bits)
+    any_arrived = b.or_reduce(barrier_pending)
+    barrier_release = b.gate(GateType.AND, all_arrived, any_arrived)
+
+    # ---------------- state updates --------------------------------------
+    rel_bus = Bus(b, [barrier_release] * NUM_SLOTS)
+    alloc_bus = Bus(b, [alloc_en] * NUM_SLOTS)
+    done_bus = Bus(b, [done_en] * NUM_SLOTS)
+    bar_bus = Bus(b, [barrier_en] * NUM_SLOTS)
+    rdy_bus = Bus(b, [ready_set_en] * NUM_SLOTS)
+
+    set_alloc = alloc_bus & alloc_oh
+    clr_done = done_bus & done_oh
+    set_bar = bar_bus & barrier_oh
+    set_rdy = rdy_bus & ready_oh
+
+    nxt_active = (active | set_alloc) & ~clr_done
+    b.connect_dff(active, nxt_active)
+
+    # ready: set on alloc / explicit re-ready / barrier release of waiting
+    # warps, cleared on grant, barrier arrival and done
+    released = rel_bus & barrier_pending
+    nxt_ready = (ready | set_alloc | set_rdy | released)
+    nxt_ready = nxt_ready & ~grant_oh & ~set_bar & ~clr_done
+    b.connect_dff(ready, nxt_ready)
+
+    nxt_barrier = (at_barrier | set_bar) & ~released & ~clr_done
+    b.connect_dff(at_barrier, nxt_barrier)
+
+    # round-robin pointer: after a grant, start after the granted slot
+    ptr_next, _ = ripple_adder(b, grant_idx, b.const(1, 4))
+    b.connect_dff(rr_ptr, b.mux(issue_valid, rr_ptr, ptr_next))
+
+    # slot payload registers
+    for w in range(NUM_SLOTS):
+        en = set_alloc.nets[w]
+        b.connect_dff(masks[w], b.mux(en, masks[w], alloc_mask))
+        b.connect_dff(ctas[w], b.mux(en, ctas[w], alloc_cta))
+        b.connect_dff(opcs[w], b.mux(en, opcs[w], alloc_opc))
+
+    # ---------------- outputs --------------------------------------------
+    b.output("issue_valid", Bus(b, [issue_valid]))
+    b.output("issue_warp", b.buf(grant_idx))
+    b.output("issue_mask", b.buf(issue_mask))
+    b.output("issue_cta", b.buf(issue_cta))
+    b.output("issue_opc", b.buf(issue_opc))
+    b.output("rf_base", rf_base)
+    b.output("shmem_base", shmem_base)
+    b.output("barrier_release", Bus(b, [barrier_release]))
+    b.output("active_out", b.buf(active))
+    lanes = []
+    for i in range(8):
+        grp = Bus(b, [issue_mask.nets[i], issue_mask.nets[i + 8],
+                      issue_mask.nets[i + 16], issue_mask.nets[i + 24]])
+        lanes.append(b.gate(GateType.AND, b.or_reduce(grp), issue_valid))
+    b.output("lane_enable", Bus(b, lanes))
+
+    # ------------------------------------------------------------------
+    def transaction(stim: Stimulus) -> list[dict[str, int]]:
+        idle = {
+            "alloc_en": 0, "alloc_slot": 0, "alloc_mask": 0, "alloc_cta": 0,
+            "alloc_opc": 0, "issue_req": 0, "ready_set_en": 0,
+            "ready_set_slot": 0, "barrier_en": 0, "barrier_slot": 0,
+            "done_en": 0, "done_slot": 0,
+        }
+        w = stim.warp_id % NUM_SLOTS
+        w2 = (w + 1) % NUM_SLOTS
+        c0 = dict(idle, alloc_en=1, alloc_slot=w, alloc_mask=stim.thread_mask,
+                  alloc_cta=stim.cta_id, alloc_opc=stim.opcode)
+        c1 = dict(idle, alloc_en=1, alloc_slot=w2,
+                  alloc_mask=0xFFFFFFFF, alloc_cta=stim.cta_id,
+                  alloc_opc=stim.opcode)
+        c2 = dict(idle, issue_req=1)                 # grants one warp
+        c3 = dict(idle, issue_req=1)                 # grants the other
+        c4 = dict(idle, barrier_en=1, barrier_slot=w)
+        c5 = dict(idle, barrier_en=1, barrier_slot=w2)  # -> release
+        c6 = dict(idle, done_en=1, done_slot=w2, ready_set_en=1,
+                  ready_set_slot=w)
+        c7 = dict(idle, issue_req=1)                 # re-issue warp w
+        return [c0, c1, c2, c3, c4, c5, c6, c7]
+
+    semantics = {
+        "issue_valid": "valid",
+        "issue_warp": "warp",
+        "issue_mask": "thread_mask",
+        "issue_cta": "cta",
+        "issue_opc": "opcode_ioc",
+        "rf_base": "reg_base",
+        "shmem_base": "parallel_param",
+        "barrier_release": "warp",
+        "active_out": "warp",
+        "lane_enable": "lane",
+    }
+    return UnitModel(
+        name="wsc",
+        netlist=b.build(),
+        transaction=transaction,
+        output_semantics=semantics,
+        liveness_outputs=["issue_valid"],
+    )

@@ -1,0 +1,100 @@
+"""Standalone ALU semantics.
+
+Pure warp-wide evaluation of computable (register-in, register-out)
+opcodes, shared by the error injectors: the IOC error model and the RTL
+pipeline-opcode corruption both need "what would opcode X have produced
+on these operands".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.opcodes import CmpOp, Op
+
+_U32 = np.uint32
+
+#: opcodes whose result can be recomputed from register operands alone
+REPLACEABLE_OPS: tuple[Op, ...] = (
+    Op.IADD, Op.ISUB, Op.IMUL, Op.IMAD, Op.IMNMX, Op.SHL, Op.SHR,
+    Op.AND, Op.OR, Op.XOR, Op.NOT, Op.I2F, Op.F2I,
+    Op.FADD, Op.FMUL, Op.FFMA, Op.FMNMX,
+    Op.FSIN, Op.FEXP, Op.FLOG, Op.FRCP, Op.FSQRT, Op.MOV,
+)
+
+
+def eval_alu(op: Op, srcs: list[np.ndarray], aux: int = 0) -> np.ndarray | None:
+    """Evaluate *op* on warp-wide uint32 operand vectors.
+
+    Returns ``None`` when the opcode is not a computable ALU operation
+    (memory, control flow, predicates). Missing trailing operands default
+    to zero; extra operands are ignored — mirroring what hardware does
+    when an opcode lands on a different instruction format.
+    """
+    if op not in REPLACEABLE_OPS:
+        return None
+    n = srcs[0].shape[0] if srcs else 32
+    zero = np.zeros(n, dtype=_U32)
+    a = srcs[0] if len(srcs) > 0 else zero
+    b = srcs[1] if len(srcs) > 1 else zero
+    c = srcs[2] if len(srcs) > 2 else zero
+
+    if op is Op.MOV:
+        return a.copy()
+    if op is Op.IADD:
+        return a + b
+    if op is Op.ISUB:
+        return a - b
+    if op is Op.IMUL:
+        return (a.astype(np.uint64) * b).astype(_U32)
+    if op is Op.IMAD:
+        return (a.astype(np.uint64) * b + c).astype(_U32)
+    if op is Op.IMNMX:
+        fn = np.minimum if aux == CmpOp.MIN else np.maximum
+        return fn(a.view(np.int32), b.view(np.int32)).view(_U32)
+    if op is Op.SHL:
+        return a << (b & _U32(31))
+    if op is Op.SHR:
+        return a >> (b & _U32(31))
+    if op is Op.AND:
+        return a & b
+    if op is Op.OR:
+        return a | b
+    if op is Op.XOR:
+        return a ^ b
+    if op is Op.NOT:
+        return ~a
+    if op is Op.I2F:
+        return a.view(np.int32).astype(np.float32).view(_U32)
+    if op is Op.F2I:
+        with np.errstate(invalid="ignore"):
+            f = np.nan_to_num(a.view(np.float32), nan=0.0,
+                              posinf=2**31 - 1, neginf=-(2**31))
+            f = np.clip(f, -(2.0**31), 2.0**31 - 1)
+            return np.trunc(f).astype(np.int64).astype(np.int32).view(_U32)
+
+    fa = a.view(np.float32)
+    fb = b.view(np.float32)
+    fc = c.view(np.float32)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore",
+                     under="ignore"):
+        if op is Op.FADD:
+            r = fa + fb
+        elif op is Op.FMUL:
+            r = fa * fb
+        elif op is Op.FFMA:
+            r = fa * fb + fc
+        elif op is Op.FMNMX:
+            fn = np.minimum if aux == CmpOp.MIN else np.maximum
+            r = fn(fa, fb)
+        elif op is Op.FSIN:
+            r = np.sin(fa, dtype=np.float32)
+        elif op is Op.FEXP:
+            r = np.exp(fa, dtype=np.float32)
+        elif op is Op.FLOG:
+            r = np.log(fa, dtype=np.float32)
+        elif op is Op.FRCP:
+            r = np.float32(1.0) / fa
+        else:  # FSQRT
+            r = np.sqrt(fa, dtype=np.float32)
+    return np.asarray(r, dtype=np.float32).view(_U32)

@@ -1,0 +1,42 @@
+"""Device configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Architectural parameters of the simulated GPU.
+
+    The defaults describe a small Ampere-like device: each SM is divided
+    into four *sub-partitions* (the paper's PPBs), each hosting up to
+    ``max_warps_per_subpartition`` resident warp slots — the coordinates the
+    NVBitPERfi error descriptors use to pick injection victims.
+    """
+
+    num_sms: int = 2
+    subpartitions_per_sm: int = 4
+    warp_size: int = 32
+    max_warps_per_subpartition: int = 12
+    global_mem_words: int = 1 << 22  # 16 MiB
+    constant_mem_words: int = 1 << 12
+    max_shared_words_per_cta: int = 1 << 12
+    #: default dynamic-instruction budget per launch (hang watchdog)
+    default_watchdog: int = 8_000_000
+
+    def __post_init__(self) -> None:
+        if self.warp_size != 32:
+            raise ConfigError("warp_size must be 32 (SASS semantics)")
+        for name in ("num_sms", "subpartitions_per_sm",
+                     "max_warps_per_subpartition", "global_mem_words",
+                     "constant_mem_words", "max_shared_words_per_cta",
+                     "default_watchdog"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.subpartitions_per_sm * self.max_warps_per_subpartition

@@ -1,0 +1,224 @@
+"""Device facade: memory management and kernel launches.
+
+A :class:`Device` owns the global and constant memories and schedules CTAs
+onto SMs/sub-partitions. CTAs run to completion one at a time (their warps
+interleaved round-robin in slices), which preserves the semantics of every
+data-race-free CUDA kernel while keeping the Python scheduling overhead low.
+The (sm, subpartition, warp_slot) coordinates each warp would occupy on the
+real device are tracked so the error descriptors of
+:mod:`repro.swinjector` can target them, exactly like NVBitPERfi targets
+"one sub-partition (PPB) of SM0" in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common.bitops import float_to_bits
+from repro.common.exceptions import (
+    BarrierDeadlockError,
+    ConfigError,
+    WatchdogTimeoutError,
+)
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.executor import (
+    Instrumentation,
+    TraceEvent,
+    WarpExecutor,
+    WarpState,
+    WARP_SIZE,
+    _CtaEnv,
+)
+from repro.gpusim.memory import ConstantMemory, GlobalMemory, SharedMemory
+from repro.isa.program import Program
+
+#: instructions a warp may run before yielding to its siblings
+_SLICE = 256
+
+
+def _dim3(d: int | tuple) -> tuple[int, int, int]:
+    if isinstance(d, int):
+        d = (d, 1, 1)
+    d = tuple(d) + (1,) * (3 - len(d))
+    if len(d) != 3 or any(x <= 0 for x in d):
+        raise ConfigError(f"bad launch dimension {d!r}")
+    return d  # type: ignore[return-value]
+
+
+@dataclass
+class LaunchResult:
+    """Statistics of one kernel launch."""
+
+    program: str
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+    num_ctas: int
+    warps_per_cta: int
+    instructions_executed: int
+
+
+class Device:
+    """A simulated GPU."""
+
+    def __init__(self, config: DeviceConfig | None = None):
+        self.config = config or DeviceConfig()
+        self.global_mem = GlobalMemory(self.config.global_mem_words)
+        self.constant_mem = ConstantMemory(self.config.constant_mem_words)
+        # next warp slot per (sm, subpartition); persists across launches so
+        # long-lived campaigns see stable victim coordinates per launch order
+        self._slot_counters: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # memory API
+    # ------------------------------------------------------------------
+    def alloc(self, num_words: int) -> int:
+        """Allocate *num_words* of global memory; returns byte address."""
+        return self.global_mem.alloc(num_words)
+
+    def alloc_array(self, arr: np.ndarray) -> int:
+        """Allocate and copy a 32-bit-typed array; returns byte address."""
+        addr = self.alloc(arr.size)
+        self.write(addr, arr)
+        return addr
+
+    def write(self, byte_addr: int, arr: np.ndarray) -> None:
+        self.global_mem.write_words(byte_addr, np.asarray(arr).ravel())
+
+    def read(self, byte_addr: int, count: int, dtype=np.uint32) -> np.ndarray:
+        words = self.global_mem.read_words(byte_addr, count)
+        return words.view(dtype)
+
+    def reset_memory(self) -> None:
+        """Zero global memory and the allocator (fresh app run)."""
+        self.global_mem = GlobalMemory(self.config.global_mem_words)
+        self.constant_mem = ConstantMemory(self.config.constant_mem_words)
+        self._slot_counters.clear()
+
+    def set_params(self, params: Sequence[int | float]) -> None:
+        """Write kernel parameters into constant memory (slot i at byte 4i)."""
+        words = np.array(
+            [float_to_bits(p) if isinstance(p, float) else int(p) & 0xFFFFFFFF
+             for p in params],
+            dtype=np.uint32,
+        )
+        if words.size:
+            self.constant_mem.write_words(0, words)
+
+    # ------------------------------------------------------------------
+    # launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        program: Program,
+        grid: int | tuple,
+        block: int | tuple,
+        params: Sequence[int | float] = (),
+        shared_words: int | None = None,
+        watchdog: int | None = None,
+        instrumentation: Instrumentation | None = None,
+        trace_fn: Callable[[TraceEvent], None] | None = None,
+        trace_values: bool = False,
+    ) -> LaunchResult:
+        """Run *program* over the given grid; returns launch statistics.
+
+        Raises a :class:`~repro.common.exceptions.DeviceError` subclass when
+        the kernel faults — campaigns map that to a DUE.
+        """
+        grid3 = _dim3(grid)
+        block3 = _dim3(block)
+        nthreads = block3[0] * block3[1] * block3[2]
+        if nthreads > 1024:
+            raise ConfigError(f"block of {nthreads} threads exceeds 1024")
+        warps_per_cta = -(-nthreads // WARP_SIZE)
+        num_ctas = grid3[0] * grid3[1] * grid3[2]
+        shared = shared_words if shared_words is not None else program.shared_words
+        if shared > self.config.max_shared_words_per_cta:
+            raise ConfigError(
+                f"{program.name}: shared_words={shared} exceeds CTA limit"
+            )
+
+        self.set_params(params)
+        budget = watchdog if watchdog is not None else self.config.default_watchdog
+        executed = 0
+
+        for cta in range(num_ctas):
+            cx = cta % grid3[0]
+            cy = (cta // grid3[0]) % grid3[1]
+            cz = cta // (grid3[0] * grid3[1])
+            sm_id = cta % self.config.num_sms
+
+            shared_mem = SharedMemory(max(shared, 1))
+            env = _CtaEnv(self.global_mem, self.constant_mem, shared_mem)
+            executor = WarpExecutor(
+                program, env, instrumentation=instrumentation,
+                trace_fn=trace_fn, trace_values=trace_values,
+            )
+
+            warps = []
+            for w in range(warps_per_cta):
+                subpart = w % self.config.subpartitions_per_sm
+                key = (sm_id, subpart)
+                slot = self._slot_counters.get(key, 0)
+                self._slot_counters[key] = (
+                    (slot + 1) % self.config.max_warps_per_subpartition
+                )
+                warps.append(
+                    WarpState(
+                        program, cta, w, block3, grid3, (cx, cy, cz),
+                        sm_id, subpart, slot,
+                    )
+                )
+
+            executed += self._run_cta(warps, executor, budget - executed, program)
+            if executed > budget:  # pragma: no cover - guarded in _run_cta
+                raise WatchdogTimeoutError(program.name)
+
+        return LaunchResult(
+            program=program.name,
+            grid=grid3,
+            block=block3,
+            num_ctas=num_ctas,
+            warps_per_cta=warps_per_cta,
+            instructions_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_cta(
+        self,
+        warps: list[WarpState],
+        executor: WarpExecutor,
+        budget: int,
+        program: Program,
+    ) -> int:
+        """Round-robin the CTA's warps until all finish; handle barriers."""
+        executed = 0
+        while True:
+            progress = 0
+            unfinished = [w for w in warps if not w.finished]
+            if not unfinished:
+                return executed
+            for warp in unfinished:
+                if warp.at_barrier:
+                    continue
+                done = executor.run_slice(warp, _SLICE)
+                progress += done
+                executed += done
+                if executed > budget:
+                    raise WatchdogTimeoutError(
+                        f"{program.name}: exceeded {budget} instructions"
+                    )
+            # barrier release: every unfinished warp has arrived
+            unfinished = [w for w in warps if not w.finished]
+            if unfinished and all(w.at_barrier for w in unfinished):
+                for w in unfinished:
+                    w.at_barrier = False
+                continue
+            if progress == 0 and unfinished:
+                waiting = sum(w.at_barrier for w in unfinished)
+                raise BarrierDeadlockError(
+                    f"{program.name}: {waiting}/{len(unfinished)} warps "
+                    f"stuck at barrier"
+                )

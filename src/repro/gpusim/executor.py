@@ -1,0 +1,506 @@
+"""Warp-wide SIMT executor.
+
+Each instruction executes for all 32 lanes of a warp at once on NumPy
+vectors (the natural SIMT formulation, and ~100x faster than a per-thread
+interpreter — see ``benchmarks/test_bench_ablation.py``). Divergence is
+handled with the classic reconvergence stack: a divergent branch replaces
+the top-of-stack continuation with the reconvergence PC and pushes one
+entry per side; an entry pops when its PC reaches its reconvergence point
+or its threads all exit.
+
+Instrumentation (NVBitPERfi) attaches *before*/*after* hooks to program
+counters; hooks receive a :class:`HookContext` exposing masked register,
+predicate and memory access — the same powers NVBit instrumentation
+functions have on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.common.exceptions import (
+    ControlFlowCorruptionError,
+    InvalidRegisterError,
+    ReproError,
+    WatchdogTimeoutError,
+)
+from repro.isa.instruction import Instruction, PT, RZ
+from repro.isa.opcodes import CmpOp, MemSpace, Op, SpecialReg
+from repro.isa.program import Program
+
+WARP_SIZE = 32
+
+_U32 = np.uint32
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+@dataclass
+class _StackEntry:
+    """One SIMT reconvergence-stack entry."""
+
+    reconv_pc: int | None
+    next_pc: int
+    mask: np.ndarray  # bool (32,)
+
+
+@dataclass
+class TraceEvent:
+    """Record of one dynamically executed instruction (profiling hook)."""
+
+    sm_id: int
+    subpartition: int
+    warp_slot: int
+    cta: int
+    warp_in_cta: int
+    pc: int
+    instr: Instruction
+    exec_mask: np.ndarray
+    src_values: list[np.ndarray] | None = None
+    result: np.ndarray | None = None
+
+
+class Instrumentation(Protocol):
+    """Interface NVBitPERfi implements to hook the executor."""
+
+    def before(self, ctx: "HookContext") -> None: ...
+
+    def after(self, ctx: "HookContext") -> None: ...
+
+
+class WarpState:
+    """Architectural state of one resident warp."""
+
+    def __init__(
+        self,
+        program: Program,
+        cta: int,
+        warp_in_cta: int,
+        block_dim: tuple[int, int, int],
+        grid_dim: tuple[int, int, int],
+        cta_coord: tuple[int, int, int],
+        sm_id: int,
+        subpartition: int,
+        warp_slot: int,
+    ):
+        self.program = program
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.sm_id = sm_id
+        self.subpartition = subpartition
+        self.warp_slot = warp_slot
+
+        bx, by, bz = block_dim
+        nthreads = bx * by * bz
+        base = warp_in_cta * WARP_SIZE
+        lin = base + np.arange(WARP_SIZE, dtype=np.int64)
+        self.alive = (lin < nthreads).copy()
+
+        lin_c = np.minimum(lin, max(nthreads - 1, 0))
+        self.tid = (
+            (lin_c % bx).astype(_U32),
+            ((lin_c // bx) % by).astype(_U32),
+            (lin_c // (bx * by)).astype(_U32),
+        )
+        self.ctaid = tuple(np.full(WARP_SIZE, c, dtype=_U32) for c in cta_coord)
+        self.ntid = tuple(np.full(WARP_SIZE, d, dtype=_U32) for d in block_dim)
+        self.nctaid = tuple(np.full(WARP_SIZE, d, dtype=_U32) for d in grid_dim)
+        self.laneid = np.arange(WARP_SIZE, dtype=_U32)
+
+        self.regs = np.zeros((WARP_SIZE, program.nregs), dtype=_U32)
+        self.preds = np.zeros((WARP_SIZE, 8), dtype=bool)
+        self.preds[:, PT] = True
+        self.stack: list[_StackEntry] = [
+            _StackEntry(reconv_pc=None, next_pc=0, mask=self.alive.copy())
+        ]
+        self.at_barrier = False
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        self._pop_converged()
+        return not self.stack or not self.alive.any()
+
+    def _pop_converged(self) -> None:
+        while self.stack:
+            top = self.stack[-1]
+            if top.reconv_pc is not None and top.next_pc == top.reconv_pc:
+                self.stack.pop()
+                continue
+            if not (top.mask & self.alive).any():
+                self.stack.pop()
+                continue
+            break
+
+    # -- masked register access (used by executor and hooks) ------------
+    def read_reg(self, r: int) -> np.ndarray:
+        """Read register *r* for all lanes (copy)."""
+        if r == RZ:
+            return np.zeros(WARP_SIZE, dtype=_U32)
+        if r >= self.program.nregs or r < 0:
+            raise InvalidRegisterError(
+                f"read of R{r} (nregs={self.program.nregs})"
+            )
+        return self.regs[:, r].copy()
+
+    def write_reg(self, r: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Write *values* to register *r* on lanes where *mask* holds."""
+        if r == RZ:
+            return
+        if r >= self.program.nregs or r < 0:
+            raise InvalidRegisterError(
+                f"write of R{r} (nregs={self.program.nregs})"
+            )
+        self.regs[mask, r] = values.astype(_U32)[mask]
+
+    def read_pred(self, p: int) -> np.ndarray:
+        return self.preds[:, p].copy()
+
+    def write_pred(self, p: int, values: np.ndarray, mask: np.ndarray) -> None:
+        if p == PT:
+            return
+        self.preds[mask, p] = values[mask]
+
+
+class HookContext:
+    """What an instrumentation function sees at an instrumented site."""
+
+    def __init__(self, warp: WarpState, pc: int, instr: Instruction,
+                 active_mask: np.ndarray, exec_mask: np.ndarray, env: "_CtaEnv"):
+        self.warp = warp
+        self.pc = pc
+        self.instr = instr
+        #: lanes active on the SIMT stack (before predication)
+        self.active_mask = active_mask
+        #: lanes the instruction will actually execute on
+        self.exec_mask = exec_mask
+        self._env = env
+        self._override: np.ndarray | None = None
+
+    # register / predicate access delegate to the warp (masked)
+    def read_reg(self, r: int) -> np.ndarray:
+        return self.warp.read_reg(r)
+
+    def write_reg(self, r: int, values: np.ndarray, mask: np.ndarray | None = None) -> None:
+        self.warp.write_reg(r, values, self.exec_mask if mask is None else mask)
+
+    def read_pred(self, p: int) -> np.ndarray:
+        return self.warp.read_pred(p)
+
+    def write_pred(self, p: int, values: np.ndarray, mask: np.ndarray | None = None) -> None:
+        self.warp.write_pred(p, values, self.exec_mask if mask is None else mask)
+
+    def override_exec_mask(self, mask: np.ndarray) -> None:
+        """Force the instruction to execute on *mask* lanes (IAL-enable)."""
+        self._override = mask.astype(bool)
+
+    @property
+    def nregs(self) -> int:
+        return self.warp.program.nregs
+
+
+@dataclass
+class _CtaEnv:
+    """Per-CTA execution environment shared by its warps."""
+
+    global_mem: object
+    constant_mem: object
+    shared_mem: object
+
+
+class WarpExecutor:
+    """Steps warps through a program inside one CTA."""
+
+    def __init__(
+        self,
+        program: Program,
+        env: _CtaEnv,
+        instrumentation: Instrumentation | None = None,
+        trace_fn: Callable[[TraceEvent], None] | None = None,
+        trace_values: bool = False,
+    ):
+        self.program = program
+        self.env = env
+        self.instrumentation = instrumentation
+        self.trace_fn = trace_fn
+        self.trace_values = trace_values
+
+    # ------------------------------------------------------------------
+    def run_slice(self, warp: WarpState, budget: int) -> int:
+        """Execute up to *budget* instructions on *warp*.
+
+        Stops early at a barrier or warp completion. Returns the number of
+        instructions executed.
+        """
+        done = 0
+        while done < budget:
+            warp._pop_converged()
+            if not warp.stack or not warp.alive.any():
+                break
+            if warp.at_barrier:
+                break
+            self._step(warp)
+            done += 1
+        return done
+
+    # ------------------------------------------------------------------
+    def _step(self, warp: WarpState) -> None:
+        top = warp.stack[-1]
+        pc = top.next_pc
+        if pc >= len(self.program):
+            # falling off the end of the program is an implicit hang source
+            raise WatchdogTimeoutError(f"{self.program.name}: PC past end")
+        instr = self.program[pc]
+        active = top.mask & warp.alive
+
+        guard = warp.preds[:, instr.pred]
+        if instr.pred_neg:
+            guard = ~guard
+        exec_mask = active & guard
+
+        ctx: HookContext | None = None
+        if self.instrumentation is not None:
+            ctx = HookContext(warp, pc, instr, active, exec_mask, self.env)
+            self.instrumentation.before(ctx)
+            if ctx._override is not None:
+                exec_mask = ctx._override & warp.alive
+                ctx.exec_mask = exec_mask
+
+        result = self._execute(warp, instr, exec_mask, active, top, pc)
+
+        if self.instrumentation is not None and ctx is not None:
+            self.instrumentation.after(ctx)
+
+        warp.instructions_executed += 1
+        if self.trace_fn is not None:
+            self.trace_fn(
+                TraceEvent(
+                    sm_id=warp.sm_id,
+                    subpartition=warp.subpartition,
+                    warp_slot=warp.warp_slot,
+                    cta=warp.cta,
+                    warp_in_cta=warp.warp_in_cta,
+                    pc=pc,
+                    instr=instr,
+                    exec_mask=exec_mask.copy(),
+                    src_values=result[0] if self.trace_values else None,
+                    result=result[1] if self.trace_values else None,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _read_operands(self, warp: WarpState, instr: Instruction) -> list[np.ndarray]:
+        vals = [warp.read_reg(r) for r in instr.srcs]
+        if instr.use_imm:
+            vals.append(np.full(WARP_SIZE, instr.imm, dtype=_U32))
+        return vals
+
+    def _execute(
+        self,
+        warp: WarpState,
+        instr: Instruction,
+        exec_mask: np.ndarray,
+        active: np.ndarray,
+        top: _StackEntry,
+        pc: int,
+    ) -> tuple[list[np.ndarray] | None, np.ndarray | None]:
+        op = instr.op
+        env = self.env
+        fallthrough = pc + 1
+        srcs: list[np.ndarray] | None = None
+        result: np.ndarray | None = None
+
+        if op is Op.BRA:
+            taken = exec_mask
+            not_taken = active & ~taken
+            target = instr.imm
+            if not taken.any():
+                top.next_pc = fallthrough
+            elif not not_taken.any():
+                top.next_pc = target
+            else:
+                rpc = instr.reconv_pc
+                if rpc is None:
+                    # only reachable when instrumentation corrupted the
+                    # execution mask of a compiler-uniform branch
+                    raise ControlFlowCorruptionError(
+                        f"{self.program.name}@{pc}: uniform branch diverged"
+                    )
+                top.next_pc = rpc
+                warp.stack.append(_StackEntry(rpc, fallthrough, not_taken))
+                warp.stack.append(_StackEntry(rpc, target, taken))
+            return (None, None)
+
+        # every non-branch falls through
+        top.next_pc = fallthrough
+
+        if op is Op.NOP:
+            return (None, None)
+
+        if op is Op.EXIT:
+            warp.alive &= ~exec_mask
+            return (None, None)
+
+        if op is Op.BAR:
+            if exec_mask.any():
+                warp.at_barrier = True
+            return (None, None)
+
+        if op is Op.S2R:
+            sreg = SpecialReg(instr.aux)
+            table = {
+                SpecialReg.TID_X: warp.tid[0], SpecialReg.TID_Y: warp.tid[1],
+                SpecialReg.TID_Z: warp.tid[2],
+                SpecialReg.CTAID_X: warp.ctaid[0], SpecialReg.CTAID_Y: warp.ctaid[1],
+                SpecialReg.CTAID_Z: warp.ctaid[2],
+                SpecialReg.NTID_X: warp.ntid[0], SpecialReg.NTID_Y: warp.ntid[1],
+                SpecialReg.NTID_Z: warp.ntid[2],
+                SpecialReg.NCTAID_X: warp.nctaid[0],
+                SpecialReg.NCTAID_Y: warp.nctaid[1],
+                SpecialReg.NCTAID_Z: warp.nctaid[2],
+                SpecialReg.LANEID: warp.laneid,
+                SpecialReg.WARPID: np.full(WARP_SIZE, warp.warp_in_cta, dtype=_U32),
+                SpecialReg.SMID: np.full(WARP_SIZE, warp.sm_id, dtype=_U32),
+            }
+            result = table[sreg].astype(_U32)
+            warp.write_reg(instr.dst, result, exec_mask)
+            return (None, result)
+
+        if op is Op.MOV32I:
+            result = np.full(WARP_SIZE, instr.imm, dtype=_U32)
+            warp.write_reg(instr.dst, result, exec_mask)
+            return (None, result)
+
+        if op in (Op.GLD, Op.GST, Op.LDS, Op.STS, Op.LDC):
+            return self._execute_mem(warp, instr, exec_mask, env)
+
+        srcs = self._read_operands(warp, instr)
+
+        if op is Op.MOV:
+            result = srcs[0]
+        elif op is Op.SEL:
+            sel = warp.preds[:, instr.aux & 7]
+            result = np.where(sel, srcs[0], srcs[1])
+        elif op is Op.IADD:
+            result = srcs[0] + srcs[1]
+        elif op is Op.ISUB:
+            result = srcs[0] - srcs[1]
+        elif op is Op.IMUL:
+            result = (srcs[0].astype(np.uint64) * srcs[1]).astype(_U32)
+        elif op is Op.IMAD:
+            result = (srcs[0].astype(np.uint64) * srcs[1] + srcs[2]).astype(_U32)
+        elif op is Op.IMNMX:
+            a, b = srcs[0].view(np.int32), srcs[1].view(np.int32)
+            fn = np.minimum if instr.aux == CmpOp.MIN else np.maximum
+            result = fn(a, b).view(_U32)
+        elif op is Op.SHL:
+            result = srcs[0] << (srcs[1] & _U32(31))
+        elif op is Op.SHR:
+            result = srcs[0] >> (srcs[1] & _U32(31))
+        elif op is Op.AND:
+            result = srcs[0] & srcs[1]
+        elif op is Op.OR:
+            result = srcs[0] | srcs[1]
+        elif op is Op.XOR:
+            result = srcs[0] ^ srcs[1]
+        elif op is Op.NOT:
+            result = ~srcs[0]
+        elif op is Op.I2F:
+            result = srcs[0].view(np.int32).astype(np.float32).view(_U32)
+        elif op is Op.F2I:
+            with np.errstate(invalid="ignore"):
+                f = np.nan_to_num(srcs[0].view(np.float32),
+                                  nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
+                f = np.clip(f, -(2.0**31), 2.0**31 - 1)
+                result = np.trunc(f).astype(np.int64).astype(np.int32).view(_U32)
+        elif op is Op.ISETP:
+            a, b = srcs[0].view(np.int32), srcs[1].view(np.int32)
+            warp.write_pred(instr.pdst, _compare(a, b, CmpOp(instr.aux)), exec_mask)
+            return (srcs, None)
+        elif op is Op.FSETP:
+            a, b = srcs[0].view(np.float32), srcs[1].view(np.float32)
+            with np.errstate(invalid="ignore"):
+                warp.write_pred(instr.pdst, _compare(a, b, CmpOp(instr.aux)), exec_mask)
+            return (srcs, None)
+        elif op in (Op.FADD, Op.FMUL, Op.FFMA, Op.FMNMX,
+                    Op.FSIN, Op.FEXP, Op.FLOG, Op.FRCP, Op.FSQRT):
+            result = _execute_fp(op, instr, srcs)
+        else:  # pragma: no cover - every valid opcode is handled above
+            raise ReproError(f"unimplemented opcode {op.name}")
+
+        warp.write_reg(instr.dst, result, exec_mask)
+        return (srcs, result)
+
+    def _execute_mem(self, warp, instr, exec_mask, env):
+        base = warp.read_reg(instr.srcs[0])
+        addr = base + _U32(instr.imm)
+        space = MemSpace(instr.aux)
+        mem = {
+            MemSpace.GLOBAL: env.global_mem,
+            MemSpace.SHARED: env.shared_mem,
+            MemSpace.CONSTANT: env.constant_mem,
+        }[space]
+        if instr.op in (Op.GLD, Op.LDS, Op.LDC):
+            result = mem.load(addr, exec_mask)
+            warp.write_reg(instr.dst, result, exec_mask)
+            return ([base], result)
+        data = warp.read_reg(instr.srcs[1])
+        mem.store(addr, data, exec_mask)
+        return ([base, data], None)
+
+
+def _compare(a: np.ndarray, b: np.ndarray, cmp: CmpOp) -> np.ndarray:
+    if cmp is CmpOp.LT:
+        return a < b
+    if cmp is CmpOp.LE:
+        return a <= b
+    if cmp is CmpOp.GT:
+        return a > b
+    if cmp is CmpOp.GE:
+        return a >= b
+    if cmp is CmpOp.EQ:
+        return a == b
+    if cmp is CmpOp.NE:
+        return a != b
+    raise ReproError(f"invalid comparison selector {cmp!r} for SETP")
+
+
+def _execute_fp(op: Op, instr: Instruction, srcs: list[np.ndarray]) -> np.ndarray:
+    f = [s.view(np.float32) for s in srcs]
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore",
+                     under="ignore"):
+        if op is Op.FADD:
+            r = f[0] + f[1]
+        elif op is Op.FMUL:
+            r = f[0] * f[1]
+        elif op is Op.FFMA:
+            r = f[0] * f[1] + f[2]
+        elif op is Op.FMNMX:
+            fn = np.minimum if instr.aux == CmpOp.MIN else np.maximum
+            r = fn(f[0], f[1])
+        elif op is Op.FSIN:
+            r = np.sin(f[0], dtype=np.float32)
+        elif op is Op.FEXP:
+            r = np.exp(f[0], dtype=np.float32)
+        elif op is Op.FLOG:
+            r = np.log(f[0], dtype=np.float32)
+        elif op is Op.FRCP:
+            r = np.float32(1.0) / f[0]
+        elif op is Op.FSQRT:
+            r = np.sqrt(f[0], dtype=np.float32)
+        else:  # pragma: no cover
+            raise ReproError(f"not an FP opcode: {op.name}")
+    return np.asarray(r, dtype=np.float32).view(_U32)
+
+
+__all__ = [
+    "WarpState",
+    "WarpExecutor",
+    "HookContext",
+    "Instrumentation",
+    "TraceEvent",
+    "WARP_SIZE",
+]

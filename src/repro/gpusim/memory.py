@@ -1,0 +1,129 @@
+"""Simulated memories: global, constant and per-CTA shared.
+
+All memories are word (32-bit) granular, byte addressed, and enforce
+alignment and bounds — an out-of-range or misaligned access raises
+:class:`~repro.common.exceptions.MemoryFaultError`, which the campaigns
+classify as a DUE (the dominant failure mode of the paper's Operation
+errors: "incorrect memory addresses and illegal instructions ... 99% of the
+total DUEs").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigError, MemoryFaultError
+
+
+class _WordMemory:
+    """Bounds-checked word-addressable backing store."""
+
+    kind = "memory"
+
+    def __init__(self, num_words: int):
+        if num_words <= 0:
+            raise ConfigError(f"{self.kind}: size must be positive")
+        self.num_words = num_words
+        self.data = np.zeros(num_words, dtype=np.uint32)
+
+    # -- vectorized lane accessors ------------------------------------
+    def _word_index(self, byte_addr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Validate active lanes' byte addresses; return word indices."""
+        addr = byte_addr.astype(np.int64)
+        act = addr[mask]
+        if act.size:
+            if np.any(act & 3):
+                bad = int(act[(act & 3) != 0][0])
+                raise MemoryFaultError(
+                    f"{self.kind}: misaligned access at byte 0x{bad:x}"
+                )
+            words = act >> 2
+            if np.any((words < 0) | (words >= self.num_words)):
+                bad = int(act[((act >> 2) < 0) | ((act >> 2) >= self.num_words)][0])
+                raise MemoryFaultError(
+                    f"{self.kind}: out-of-bounds access at byte 0x{bad:x} "
+                    f"(size {self.num_words * 4} bytes)"
+                )
+        return addr >> 2
+
+    def load(self, byte_addr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather one word per lane; inactive lanes return 0."""
+        words = self._word_index(byte_addr, mask)
+        out = np.zeros(byte_addr.shape, dtype=np.uint32)
+        if mask.any():
+            out[mask] = self.data[words[mask]]
+        return out
+
+    def store(self, byte_addr: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """Scatter one word per active lane.
+
+        Lanes writing the same address resolve in ascending lane order
+        (last writer wins), matching the unspecified-but-deterministic
+        behaviour real GPUs exhibit for intra-warp write conflicts.
+        """
+        words = self._word_index(byte_addr, mask)
+        if mask.any():
+            self.data[words[mask]] = values.astype(np.uint32)[mask]
+
+    # -- scalar host accessors -----------------------------------------
+    def read_words(self, byte_addr: int, count: int) -> np.ndarray:
+        start = self._host_index(byte_addr, count)
+        return self.data[start:start + count].copy()
+
+    def write_words(self, byte_addr: int, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values)
+        if values.dtype == np.float32 or values.dtype == np.int32:
+            values = values.view(np.uint32)
+        elif values.dtype != np.uint32:
+            raise ConfigError(f"{self.kind}: host writes must be 32-bit typed")
+        start = self._host_index(byte_addr, values.size)
+        self.data[start:start + values.size] = values
+
+    def _host_index(self, byte_addr: int, count: int) -> int:
+        if byte_addr % 4:
+            raise MemoryFaultError(f"{self.kind}: misaligned host access")
+        start = byte_addr // 4
+        if start < 0 or start + count > self.num_words:
+            raise MemoryFaultError(f"{self.kind}: host access out of bounds")
+        return start
+
+
+class GlobalMemory(_WordMemory):
+    """Device global memory with a bump allocator."""
+
+    kind = "global"
+
+    def __init__(self, num_words: int):
+        super().__init__(num_words)
+        self._brk = 0
+
+    def alloc(self, num_words: int, align_words: int = 32) -> int:
+        """Allocate *num_words*; returns the byte address of the block."""
+        if num_words <= 0:
+            raise ConfigError("alloc: size must be positive")
+        start = -(-self._brk // align_words) * align_words
+        if start + num_words > self.num_words:
+            raise MemoryFaultError("global memory exhausted")
+        self._brk = start + num_words
+        return start * 4
+
+    def reset_allocator(self) -> None:
+        self._brk = 0
+
+
+class ConstantMemory(_WordMemory):
+    """Constant memory; kernel parameters live at byte offset 0."""
+
+    kind = "constant"
+
+    def load(self, byte_addr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return super().load(byte_addr, mask)
+
+    def store(self, byte_addr, values, mask) -> None:  # pragma: no cover
+        raise MemoryFaultError("constant memory is not writable from kernels")
+
+
+class SharedMemory(_WordMemory):
+    """Per-CTA scratchpad."""
+
+    kind = "shared"

@@ -1,0 +1,108 @@
+"""Execution statistics: performance counters over a traced run.
+
+The profiling step already extracts stimuli; this module computes the
+aggregate counters a real profiler (nvprof-style) reports — instruction
+mix, branch-divergence rate, memory transactions, predication and lane
+occupancy — used for the utilization analysis (Table 4) and generally
+handy when sizing campaign workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.device import Device
+from repro.gpusim.executor import TraceEvent, WARP_SIZE
+from repro.isa.opcodes import Op, OpClass
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated over one traced application run."""
+
+    dynamic_instructions: int = 0
+    per_opcode: Counter = field(default_factory=Counter)
+    per_class: Counter = field(default_factory=Counter)
+    active_lane_sum: int = 0
+    predicated_off: int = 0       # instructions with zero active lanes
+    branches: int = 0
+    divergent_branches: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    shared_accesses: int = 0
+    warps_seen: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def observe(self, ev: TraceEvent) -> None:
+        op = ev.instr.op
+        self.dynamic_instructions += 1
+        self.per_opcode[op] += 1
+        self.per_class[ev.instr.info.op_class] += 1
+        active = int(ev.exec_mask.sum())
+        self.active_lane_sum += active
+        if active == 0:
+            self.predicated_off += 1
+        if op is Op.BRA:
+            self.branches += 1
+            # potentially divergent: a strict non-empty lane subset takes it
+            if 0 < active < WARP_SIZE:
+                self.divergent_branches += 1
+        elif op is Op.GLD:
+            self.global_loads += 1
+        elif op is Op.GST:
+            self.global_stores += 1
+        elif op in (Op.LDS, Op.STS):
+            self.shared_accesses += 1
+        self.warps_seen.add((ev.sm_id, ev.subpartition, ev.warp_slot,
+                             ev.cta, ev.warp_in_cta))
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_active_lanes(self) -> float:
+        if not self.dynamic_instructions:
+            return 0.0
+        return self.active_lane_sum / self.dynamic_instructions
+
+    @property
+    def lane_occupancy(self) -> float:
+        """Average fraction of the 32 lanes doing useful work."""
+        return self.mean_active_lanes / WARP_SIZE
+
+    @property
+    def divergence_rate(self) -> float:
+        return self.divergent_branches / self.branches if self.branches \
+            else 0.0
+
+    def class_fraction(self, cl: OpClass) -> float:
+        if not self.dynamic_instructions:
+            return 0.0
+        return self.per_class.get(cl, 0) / self.dynamic_instructions
+
+    def summary(self) -> dict:
+        return {
+            "dynamic_instructions": self.dynamic_instructions,
+            "warps": len(self.warps_seen),
+            "lane_occupancy": round(self.lane_occupancy, 4),
+            "divergence_rate": round(self.divergence_rate, 4),
+            "fp32_fraction": round(self.class_fraction(OpClass.FP32), 4),
+            "int_fraction": round(self.class_fraction(OpClass.INT), 4),
+            "mem_fraction": round(self.class_fraction(OpClass.MEM), 4),
+            "global_loads": self.global_loads,
+            "global_stores": self.global_stores,
+            "shared_accesses": self.shared_accesses,
+        }
+
+
+def collect_stats(workload, mem_words: int = 1 << 20) -> ExecutionStats:
+    """Run *workload* traced and return its execution statistics."""
+    stats = ExecutionStats()
+    dev = Device(DeviceConfig(global_mem_words=mem_words))
+
+    def launcher(program, grid, block, params=(), shared_words=None):
+        return dev.launch(program, grid, block, params=params,
+                          shared_words=shared_words, trace_fn=stats.observe)
+
+    workload.run(dev, launcher)
+    return stats

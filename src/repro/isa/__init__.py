@@ -1,0 +1,51 @@
+"""A SASS-like instruction set shared by every simulator in the library.
+
+The ISA is deliberately G80-flavoured (the paper's low-level model,
+FlexGripPlus, implements the G80 ISA): scalar per-thread registers R0..R254
+plus the zero register RZ, seven predicate registers P0..P6 plus the
+always-true PT, and an opcode space split across integer, FP32, SFU
+(special-function), memory and control-flow classes.
+
+Modules
+-------
+:mod:`repro.isa.opcodes`
+    Opcode enumeration plus per-opcode metadata (execution unit, operand
+    roles, immediate usage).
+:mod:`repro.isa.instruction`
+    The :class:`Instruction` dataclass — the unit of work every simulator
+    consumes.
+:mod:`repro.isa.encoding`
+    Packing/unpacking instructions into the 64-bit control word + 32-bit
+    immediate used by the gate-level fetch/decoder units.
+:mod:`repro.isa.program`
+    :class:`Program` (instruction list + labels + metadata).
+:mod:`repro.isa.builder`
+    :class:`KernelBuilder`, a structured macro-assembler with automatic
+    reconvergence-point annotation for divergent control flow.
+"""
+
+from repro.isa.opcodes import Op, OpClass, OPCODE_INFO, SpecialReg, CmpOp, MemSpace
+from repro.isa.instruction import Instruction, PT, RZ
+from repro.isa.encoding import encode, decode, EncodedInstruction
+from repro.isa.program import Program
+from repro.isa.builder import KernelBuilder
+from repro.isa.asmtext import assemble, disassemble
+
+__all__ = [
+    "Op",
+    "OpClass",
+    "OPCODE_INFO",
+    "SpecialReg",
+    "CmpOp",
+    "MemSpace",
+    "Instruction",
+    "PT",
+    "RZ",
+    "encode",
+    "decode",
+    "EncodedInstruction",
+    "Program",
+    "KernelBuilder",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,256 @@
+"""Textual assembly: disassemble a Program to text and assemble it back.
+
+The syntax is SASS-flavoured::
+
+    .kernel saxpy nregs=24 shared=0
+    .L1:
+      @!P0 BRA .L2 reconv=.L2
+      IADD R3, R1, R2
+      FFMA R4, R1, R2, R3
+      IADD R3, R1, 0xff          ; immediate source
+      ISETP.GE P1, R3, R5
+      GLD R6, [R7+0x10]
+      STS [R8+0x4], R6
+      S2R R9, TID_X
+      SEL R1, R2, R3, P4
+      MOV32I R4, 0x3f800000
+      EXIT
+
+Guards are ``@Pn`` / ``@!Pn``; comparison/min-max selectors and special
+registers are dotted suffixes / named operands; memory operands are
+``[Rbase+0xOFF]``. ``assemble(disassemble(p))`` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.exceptions import AssemblerError
+from repro.isa.instruction import Instruction, PT, RZ
+from repro.isa.opcodes import CmpOp, MemSpace, Op, OPCODE_INFO, SpecialReg
+from repro.isa.program import Program
+
+_CMP_OPS = (Op.ISETP, Op.FSETP, Op.IMNMX, Op.FMNMX)
+
+
+def _reg_name(r: int) -> str:
+    return "RZ" if r == RZ else f"R{r}"
+
+
+def _parse_reg(tok: str) -> int:
+    tok = tok.strip()
+    if tok == "RZ":
+        return RZ
+    m = re.fullmatch(r"R(\d+)", tok)
+    if not m:
+        raise AssemblerError(f"expected register, got {tok!r}")
+    return int(m.group(1))
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as assembly text (round-trippable)."""
+    labels: dict[int, str] = {}
+    for name, pc in program.labels.items():
+        labels.setdefault(pc, name)
+    # synthesize labels for branch targets without one
+    for instr in program.instructions:
+        if instr.op is Op.BRA:
+            labels.setdefault(instr.imm, f".T{instr.imm}")
+            if instr.reconv_pc is not None:
+                labels.setdefault(instr.reconv_pc, f".T{instr.reconv_pc}")
+
+    lines = [f".kernel {program.name} nregs={program.nregs} "
+             f"shared={program.shared_words}"]
+    for pc, instr in enumerate(program.instructions):
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append("  " + _format_instr(instr, labels))
+    # trailing labels (targets one past the end)
+    n = len(program.instructions)
+    if n in labels:
+        lines.append(f"{labels[n]}:")
+    return "\n".join(lines) + "\n"
+
+
+def _format_instr(instr: Instruction, labels: dict[int, str]) -> str:
+    parts = []
+    if instr.pred != PT or instr.pred_neg:
+        parts.append(f"@{'!' if instr.pred_neg else ''}P{instr.pred}")
+    info = instr.info
+    mnem = instr.op.name
+    if instr.op in _CMP_OPS:
+        mnem += f".{CmpOp(instr.aux).name}"
+    ops: list[str] = []
+    if instr.op is Op.BRA:
+        ops.append(labels[instr.imm])
+        text = " ".join(parts + [mnem, ", ".join(ops)])
+        if instr.reconv_pc is not None:
+            text += f" reconv={labels[instr.reconv_pc]}"
+        return text
+    if instr.op is Op.S2R:
+        ops.append(_reg_name(instr.dst))
+        ops.append(SpecialReg(instr.aux).name)
+    elif instr.op is Op.MOV32I:
+        ops.append(_reg_name(instr.dst))
+        ops.append(f"0x{instr.imm:x}")
+    elif instr.op is Op.SEL:
+        ops.append(_reg_name(instr.dst))
+        ops.extend(_reg_name(r) for r in instr.srcs)
+        ops.append(f"P{instr.aux & 7}")
+    elif info.is_mem:
+        if info.writes_reg:  # load
+            ops.append(_reg_name(instr.dst))
+            ops.append(f"[{_reg_name(instr.srcs[0])}+0x{instr.imm:x}]")
+        else:  # store
+            ops.append(f"[{_reg_name(instr.srcs[0])}+0x{instr.imm:x}]")
+            ops.append(_reg_name(instr.srcs[1]))
+    else:
+        if info.writes_pred:
+            ops.append(f"P{instr.pdst}")
+        elif info.writes_reg:
+            ops.append(_reg_name(instr.dst))
+        ops.extend(_reg_name(r) for r in instr.srcs)
+        if instr.use_imm:
+            ops.append(f"0x{instr.imm:x}")
+    joined = ", ".join(ops)
+    return " ".join(parts + ([f"{mnem} {joined}"] if joined else [mnem]))
+
+
+def assemble(text: str) -> Program:
+    """Parse assembly text into a Program."""
+    name, nregs, shared = "kernel", 32, 0
+    instrs: list[tuple] = []          # (tokens for later fixup)
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, str | None]] = []  # (idx, target, reconv)
+    parsed: list[Instruction] = []
+
+    for raw in text.splitlines():
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            toks = line.split()
+            name = toks[1]
+            for t in toks[2:]:
+                k, v = t.split("=")
+                if k == "nregs":
+                    nregs = int(v)
+                elif k == "shared":
+                    shared = int(v)
+            continue
+        m = re.fullmatch(r"([.\w$]+):", line)
+        if m:
+            lbl = m.group(1)
+            if lbl in labels:
+                raise AssemblerError(f"duplicate label {lbl!r}")
+            labels[lbl] = len(parsed)
+            continue
+        instr, branch = _parse_instr(line)
+        if branch is not None:
+            pending.append((len(parsed), branch[0], branch[1]))
+        parsed.append(instr)
+
+    for idx, target, reconv in pending:
+        if target not in labels:
+            raise AssemblerError(f"undefined label {target!r}")
+        parsed[idx].imm = labels[target]
+        if reconv is not None:
+            if reconv not in labels:
+                raise AssemblerError(f"undefined label {reconv!r}")
+            parsed[idx].reconv_pc = labels[reconv]
+
+    prog = Program(name=name, instructions=parsed, nregs=nregs,
+                   labels=labels, shared_words=shared)
+    prog.validate()
+    return prog
+
+
+def _parse_instr(line: str):
+    pred, pred_neg = PT, False
+    m = re.match(r"@(!?)P(\d)\s+", line)
+    if m:
+        pred_neg = m.group(1) == "!"
+        pred = int(m.group(2))
+        line = line[m.end():]
+    toks = line.split(None, 1)
+    mnem = toks[0]
+    rest = toks[1] if len(toks) > 1 else ""
+    operands = [t.strip() for t in rest.split(",")] if rest.strip() else []
+
+    base, _, suffix = mnem.partition(".")
+    try:
+        op = Op[base]
+    except KeyError:
+        raise AssemblerError(f"unknown mnemonic {base!r}") from None
+    info = OPCODE_INFO[op]
+    aux = 0
+    if op in _CMP_OPS:
+        if not suffix:
+            raise AssemblerError(f"{base} needs a comparison suffix")
+        aux = int(CmpOp[suffix])
+
+    if op is Op.BRA:
+        target = operands[0]
+        reconv = None
+        rm = re.search(r"reconv=([.\w$]+)", target)
+        if rm is None and "reconv=" in rest:
+            rm = re.search(r"reconv=([.\w$]+)", rest)
+        if rm:
+            reconv = rm.group(1)
+            target = target.split()[0]
+        instr = Instruction(op, imm=0, pred=pred, pred_neg=pred_neg)
+        return instr, (target, reconv)
+
+    if op is Op.S2R:
+        dst = _parse_reg(operands[0])
+        aux = int(SpecialReg[operands[1]])
+        return Instruction(op, dst=dst, aux=aux, pred=pred,
+                           pred_neg=pred_neg), None
+    if op is Op.MOV32I:
+        return Instruction(op, dst=_parse_reg(operands[0]),
+                           imm=int(operands[1], 0), pred=pred,
+                           pred_neg=pred_neg), None
+    if op is Op.SEL:
+        return Instruction(op, dst=_parse_reg(operands[0]),
+                           srcs=(_parse_reg(operands[1]),
+                                 _parse_reg(operands[2])),
+                           aux=int(operands[3].lstrip("P")),
+                           pred=pred, pred_neg=pred_neg), None
+    if info.is_mem:
+        space = {Op.GLD: MemSpace.GLOBAL, Op.GST: MemSpace.GLOBAL,
+                 Op.LDS: MemSpace.SHARED, Op.STS: MemSpace.SHARED,
+                 Op.LDC: MemSpace.CONSTANT}[op]
+        memtok = operands[0] if not info.writes_reg else operands[1]
+        mm = re.fullmatch(r"\[(\w+)\+(0x[0-9a-fA-F]+|\d+)\]", memtok)
+        if not mm:
+            raise AssemblerError(f"bad memory operand {memtok!r}")
+        base_reg = _parse_reg(mm.group(1))
+        off = int(mm.group(2), 0)
+        if info.writes_reg:
+            return Instruction(op, dst=_parse_reg(operands[0]),
+                               srcs=(base_reg,), imm=off, aux=int(space),
+                               pred=pred, pred_neg=pred_neg), None
+        return Instruction(op, srcs=(base_reg, _parse_reg(operands[1])),
+                           imm=off, aux=int(space), pred=pred,
+                           pred_neg=pred_neg), None
+
+    # generic ALU / misc form
+    dst, pdst = RZ, PT
+    srcs: list[int] = []
+    imm, use_imm = 0, False
+    idx = 0
+    if info.writes_pred:
+        pdst = int(operands[0].lstrip("P"))
+        idx = 1
+    elif info.writes_reg and operands:
+        dst = _parse_reg(operands[0])
+        idx = 1
+    for tok in operands[idx:]:
+        if re.fullmatch(r"-?(0x[0-9a-fA-F]+|\d+)", tok):
+            imm = int(tok, 0) & 0xFFFFFFFF
+            use_imm = True
+        else:
+            srcs.append(_parse_reg(tok))
+    return Instruction(op, dst=dst, srcs=tuple(srcs), imm=imm,
+                       use_imm=use_imm, pred=pred, pred_neg=pred_neg,
+                       pdst=pdst, aux=aux), None

@@ -1,0 +1,444 @@
+"""KernelBuilder: a structured macro-assembler for the repro ISA.
+
+Workloads are written against this builder rather than raw instruction
+lists. Besides removing encoding boilerplate, the builder performs the one
+job a real compiler performs that our SIMT executor depends on: it annotates
+every *potentially divergent* branch with its reconvergence PC (the
+immediate post-dominator), which the executor's SIMT stack consumes.
+
+Structured control flow is expressed with context managers::
+
+    k = KernelBuilder("axpy", nregs=24)
+    tid = k.s2r_tid_x()
+    n = k.load_param(0)
+    p = k.isetp_reg(tid, n, CmpOp.GE)
+    with k.if_(p):          # guard: executed when P is TRUE
+        k.exit()
+    ...
+
+Loops::
+
+    i = k.mov32i_new(0)
+    with k.loop() as loop:
+        p = k.isetp_reg(i, n, CmpOp.GE)
+        loop.break_if(p)
+        ...body...
+        k.iadd(i, i, imm=1)
+
+The loop back-edge is warp-uniform by construction (every thread still in
+the loop takes it), so only the forward ``break_if`` branches need
+reconvergence entries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.common.exceptions import AssemblerError
+from repro.isa.instruction import Instruction, PT, RZ
+from repro.isa.opcodes import CmpOp, MemSpace, Op, SpecialReg
+from repro.isa.program import Program
+
+
+@dataclass
+class _Fixup:
+    """A branch whose target label is not yet defined."""
+
+    pc: int
+    target_label: str
+    reconv_label: str | None
+
+
+class LoopCtx:
+    """Handle returned by :meth:`KernelBuilder.loop`."""
+
+    def __init__(self, builder: "KernelBuilder", head_label: str, exit_label: str):
+        self._b = builder
+        self.head_label = head_label
+        self.exit_label = exit_label
+
+    def break_if(self, pred: int, neg: bool = False) -> None:
+        """Leave the loop (divergent-safe) when the predicate holds."""
+        self._b._emit_branch(
+            self.exit_label, pred=pred, pred_neg=neg, reconv_label=self.exit_label
+        )
+
+    def continue_(self, pred: int = PT, neg: bool = False) -> None:
+        """Jump back to the loop head (must be warp-uniform)."""
+        self._b._emit_branch(self.head_label, pred=pred, pred_neg=neg, reconv_label=None)
+
+
+class KernelBuilder:
+    """Builds a :class:`~repro.isa.program.Program` instruction by instruction."""
+
+    def __init__(self, name: str, nregs: int = 32, shared_words: int = 0):
+        self.name = name
+        self.nregs = nregs
+        self.shared_words = shared_words
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[_Fixup] = []
+        self._next_reg = 0
+        self._next_pred = 0
+        self._next_label = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # resource allocation
+    # ------------------------------------------------------------------
+    def reg(self) -> int:
+        """Allocate a fresh architectural register."""
+        if self._next_reg >= self.nregs:
+            raise AssemblerError(
+                f"{self.name}: out of registers (nregs={self.nregs})"
+            )
+        r = self._next_reg
+        self._next_reg += 1
+        return r
+
+    def regs(self, n: int) -> list[int]:
+        """Allocate *n* consecutive registers."""
+        return [self.reg() for _ in range(n)]
+
+    def pred(self) -> int:
+        """Allocate a fresh predicate register (P0..P6)."""
+        if self._next_pred >= 7:
+            raise AssemblerError(f"{self.name}: out of predicate registers")
+        p = self._next_pred
+        self._next_pred += 1
+        return p
+
+    def fresh_label(self, stem: str = "L") -> str:
+        self._next_label += 1
+        return f".{stem}{self._next_label}"
+
+    # ------------------------------------------------------------------
+    # emission primitives
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> int:
+        """Append an instruction; returns its PC."""
+        if self._finalized:
+            raise AssemblerError(f"{self.name}: builder already finalized")
+        self._instrs.append(instr)
+        return len(self._instrs) - 1
+
+    def label(self, name: str | None = None) -> str:
+        """Define a label at the current PC; returns its name."""
+        name = name or self.fresh_label()
+        if name in self._labels:
+            raise AssemblerError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return name
+
+    def _emit_branch(
+        self,
+        target_label: str,
+        pred: int = PT,
+        pred_neg: bool = False,
+        reconv_label: str | None = None,
+    ) -> None:
+        pc = self.emit(
+            Instruction(Op.BRA, imm=0, pred=pred, pred_neg=pred_neg, reconv_pc=None)
+        )
+        self._fixups.append(_Fixup(pc, target_label, reconv_label))
+
+    # ------------------------------------------------------------------
+    # straight-line instruction helpers
+    # ------------------------------------------------------------------
+    def _alu(self, op: Op, dst: int, *srcs: int, imm: int | None = None,
+             pred: int = PT, pred_neg: bool = False, aux: int = 0) -> None:
+        use_imm = imm is not None
+        self.emit(Instruction(op, dst=dst, srcs=srcs, imm=imm or 0,
+                              use_imm=use_imm, pred=pred, pred_neg=pred_neg, aux=aux))
+
+    def nop(self) -> None:
+        self.emit(Instruction(Op.NOP))
+
+    def exit(self, pred: int = PT, pred_neg: bool = False) -> None:
+        self.emit(Instruction(Op.EXIT, pred=pred, pred_neg=pred_neg))
+
+    def bar(self) -> None:
+        self.emit(Instruction(Op.BAR))
+
+    def s2r(self, dst: int, sreg: SpecialReg, pred: int = PT) -> None:
+        self.emit(Instruction(Op.S2R, dst=dst, aux=int(sreg), pred=pred))
+
+    def s2r_new(self, sreg: SpecialReg) -> int:
+        d = self.reg()
+        self.s2r(d, sreg)
+        return d
+
+    def s2r_tid_x(self) -> int:
+        return self.s2r_new(SpecialReg.TID_X)
+
+    def s2r_ctaid_x(self) -> int:
+        return self.s2r_new(SpecialReg.CTAID_X)
+
+    def s2r_ntid_x(self) -> int:
+        return self.s2r_new(SpecialReg.NTID_X)
+
+    def mov(self, dst: int, src: int, pred: int = PT, pred_neg: bool = False) -> None:
+        self._alu(Op.MOV, dst, src, pred=pred, pred_neg=pred_neg)
+
+    def mov32i(self, dst: int, imm: int, pred: int = PT, pred_neg: bool = False) -> None:
+        self.emit(Instruction(Op.MOV32I, dst=dst, imm=imm & 0xFFFFFFFF,
+                              pred=pred, pred_neg=pred_neg))
+
+    def mov32i_new(self, imm: int) -> int:
+        d = self.reg()
+        self.mov32i(d, imm)
+        return d
+
+    def movf_new(self, value: float) -> int:
+        """Load a float32 constant into a fresh register."""
+        from repro.common.bitops import float_to_bits
+
+        return self.mov32i_new(float_to_bits(value))
+
+    def sel(self, dst: int, a: int, b: int, psrc: int,
+            pred: int = PT, pred_neg: bool = False) -> None:
+        """dst = psrc ? a : b."""
+        self._alu(Op.SEL, dst, a, b, aux=psrc, pred=pred, pred_neg=pred_neg)
+
+    # integer
+    def iadd(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.IADD, dst, a, b, imm, pred, pred_neg)
+
+    def isub(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.ISUB, dst, a, b, imm, pred, pred_neg)
+
+    def imul(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.IMUL, dst, a, b, imm, pred, pred_neg)
+
+    def imad(self, dst, a, b, c=None, imm=None, pred=PT, pred_neg=False):
+        """dst = a*b + (c | imm)."""
+        if imm is not None:
+            self._alu(Op.IMAD, dst, a, b, imm=imm, pred=pred, pred_neg=pred_neg)
+        else:
+            self._alu(Op.IMAD, dst, a, b, c, pred=pred, pred_neg=pred_neg)
+
+    def imnmx(self, dst, a, b=None, imm=None, mode: CmpOp = CmpOp.MIN,
+              pred=PT, pred_neg=False):
+        self._binary(Op.IMNMX, dst, a, b, imm, pred, pred_neg, aux=int(mode))
+
+    def shl(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.SHL, dst, a, b, imm, pred, pred_neg)
+
+    def shr(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.SHR, dst, a, b, imm, pred, pred_neg)
+
+    def and_(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.AND, dst, a, b, imm, pred, pred_neg)
+
+    def or_(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.OR, dst, a, b, imm, pred, pred_neg)
+
+    def xor(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.XOR, dst, a, b, imm, pred, pred_neg)
+
+    def not_(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.NOT, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def i2f(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.I2F, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def f2i(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.F2I, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def isetp(self, pdst: int, a: int, b: int | None = None, cmp: CmpOp = CmpOp.LT,
+              imm: int | None = None, pred: int = PT, pred_neg: bool = False) -> None:
+        self._setp(Op.ISETP, pdst, a, b, cmp, imm, pred, pred_neg)
+
+    def isetp_reg(self, a: int, b: int, cmp: CmpOp) -> int:
+        p = self.pred()
+        self.isetp(p, a, b, cmp)
+        return p
+
+    # fp32
+    def fadd(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.FADD, dst, a, b, imm, pred, pred_neg)
+
+    def fmul(self, dst, a, b=None, imm=None, pred=PT, pred_neg=False):
+        self._binary(Op.FMUL, dst, a, b, imm, pred, pred_neg)
+
+    def ffma(self, dst, a, b, c=None, imm=None, pred=PT, pred_neg=False):
+        """dst = a*b + (c | imm)."""
+        if imm is not None:
+            self._alu(Op.FFMA, dst, a, b, imm=imm, pred=pred, pred_neg=pred_neg)
+        else:
+            self._alu(Op.FFMA, dst, a, b, c, pred=pred, pred_neg=pred_neg)
+
+    def fmnmx(self, dst, a, b=None, imm=None, mode: CmpOp = CmpOp.MIN,
+              pred=PT, pred_neg=False):
+        self._binary(Op.FMNMX, dst, a, b, imm, pred, pred_neg, aux=int(mode))
+
+    def fsetp(self, pdst: int, a: int, b: int | None = None, cmp: CmpOp = CmpOp.LT,
+              imm: int | None = None, pred: int = PT, pred_neg: bool = False) -> None:
+        self._setp(Op.FSETP, pdst, a, b, cmp, imm, pred, pred_neg)
+
+    def fsetp_reg(self, a: int, b: int, cmp: CmpOp) -> int:
+        p = self.pred()
+        self.fsetp(p, a, b, cmp)
+        return p
+
+    # sfu
+    def fsin(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.FSIN, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def fexp(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.FEXP, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def flog(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.FLOG, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def frcp(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.FRCP, dst, a, pred=pred, pred_neg=pred_neg)
+
+    def fsqrt(self, dst, a, pred=PT, pred_neg=False):
+        self._alu(Op.FSQRT, dst, a, pred=pred, pred_neg=pred_neg)
+
+    # memory — address = R[base] + offset bytes
+    def gld(self, dst, base, offset=0, pred=PT, pred_neg=False):
+        self.emit(Instruction(Op.GLD, dst=dst, srcs=(base,), imm=offset,
+                              aux=int(MemSpace.GLOBAL), pred=pred, pred_neg=pred_neg))
+
+    def gst(self, base, data, offset=0, pred=PT, pred_neg=False):
+        self.emit(Instruction(Op.GST, srcs=(base, data), imm=offset,
+                              aux=int(MemSpace.GLOBAL), pred=pred, pred_neg=pred_neg))
+
+    def lds(self, dst, base, offset=0, pred=PT, pred_neg=False):
+        self.emit(Instruction(Op.LDS, dst=dst, srcs=(base,), imm=offset,
+                              aux=int(MemSpace.SHARED), pred=pred, pred_neg=pred_neg))
+
+    def sts(self, base, data, offset=0, pred=PT, pred_neg=False):
+        self.emit(Instruction(Op.STS, srcs=(base, data), imm=offset,
+                              aux=int(MemSpace.SHARED), pred=pred, pred_neg=pred_neg))
+
+    def ldc(self, dst, base, offset=0, pred=PT, pred_neg=False):
+        self.emit(Instruction(Op.LDC, dst=dst, srcs=(base,), imm=offset,
+                              aux=int(MemSpace.CONSTANT), pred=pred, pred_neg=pred_neg))
+
+    def load_param(self, slot: int) -> int:
+        """Load 32-bit kernel parameter *slot* from constant memory."""
+        d = self.reg()
+        self.ldc(d, RZ, offset=4 * slot)
+        return d
+
+    # ------------------------------------------------------------------
+    # control-flow macros
+    # ------------------------------------------------------------------
+    def bra(self, label: str, pred: int = PT, pred_neg: bool = False,
+            uniform: bool = True) -> None:
+        """Raw branch. ``uniform=True`` asserts every active thread agrees.
+
+        Non-uniform raw branches get a reconvergence point at the *target*
+        only if it is a forward branch created through the structured
+        macros; prefer :meth:`if_` / :meth:`loop` instead.
+        """
+        if not uniform:
+            raise AssemblerError(
+                "non-uniform raw branches are not supported; use if_/loop macros"
+            )
+        self._emit_branch(label, pred=pred, pred_neg=pred_neg, reconv_label=None)
+
+    @contextlib.contextmanager
+    def if_(self, pred: int, neg: bool = False):
+        """Execute the block only for threads where the guard holds."""
+        end = self.fresh_label("endif")
+        # jump over the block when the condition does NOT hold
+        self._emit_branch(end, pred=pred, pred_neg=not neg, reconv_label=end)
+        yield
+        self.label(end)
+
+    @contextlib.contextmanager
+    def if_else(self, pred: int, neg: bool = False):
+        """``with k.if_else(p) as else_: ...then...; else_(); ...else...``"""
+        else_l = self.fresh_label("else")
+        end = self.fresh_label("endif")
+        self._emit_branch(else_l, pred=pred, pred_neg=not neg, reconv_label=end)
+        state = {"in_else": False}
+
+        def start_else() -> None:
+            if state["in_else"]:
+                raise AssemblerError("else section already started")
+            state["in_else"] = True
+            # threads that ran the THEN side skip the ELSE side; uniform
+            # within the executing subset.
+            self._emit_branch(end, reconv_label=None)
+            self.label(else_l)
+
+        yield start_else
+        if not state["in_else"]:
+            raise AssemblerError("if_else used without starting the else section")
+        self.label(end)
+
+    @contextlib.contextmanager
+    def loop(self):
+        """Structured loop; exit through ``loop.break_if``."""
+        head = self.label(self.fresh_label("loop"))
+        exit_l = self.fresh_label("endloop")
+        ctx = LoopCtx(self, head, exit_l)
+        yield ctx
+        ctx.continue_()
+        self.label(exit_l)
+
+    @contextlib.contextmanager
+    def for_range(self, counter: int, start: int, bound_reg: int):
+        """Counted loop: ``for counter in range(start, bound_reg)``.
+
+        *counter* is a register the caller allocated; *bound_reg* holds the
+        (possibly thread-dependent) upper bound.
+        """
+        self.mov32i(counter, start)
+        with self.loop() as lp:
+            p = self.pred()
+            self.isetp(p, counter, bound_reg, CmpOp.GE)
+            lp.break_if(p)
+            self._next_pred -= 1  # recycle the loop predicate
+            yield lp
+            self.iadd(counter, counter, imm=1)
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and return the validated program."""
+        if self._finalized:
+            raise AssemblerError(f"{self.name}: build() called twice")
+        self._finalized = True
+        for fx in self._fixups:
+            if fx.target_label not in self._labels:
+                raise AssemblerError(
+                    f"{self.name}: undefined label {fx.target_label!r}"
+                )
+            instr = self._instrs[fx.pc]
+            instr.imm = self._labels[fx.target_label]
+            if fx.reconv_label is not None:
+                instr.reconv_pc = self._labels[fx.reconv_label]
+        prog = Program(
+            name=self.name,
+            instructions=self._instrs,
+            nregs=self.nregs,
+            labels=dict(self._labels),
+            shared_words=self.shared_words,
+        )
+        prog.validate()
+        return prog
+
+    # ------------------------------------------------------------------
+    def _binary(self, op, dst, a, b, imm, pred, pred_neg, aux: int = 0):
+        if (b is None) == (imm is None):
+            raise AssemblerError(f"{op.name}: exactly one of b/imm required")
+        if imm is not None:
+            self._alu(op, dst, a, imm=imm, pred=pred, pred_neg=pred_neg, aux=aux)
+        else:
+            self._alu(op, dst, a, b, pred=pred, pred_neg=pred_neg, aux=aux)
+
+    def _setp(self, op, pdst, a, b, cmp, imm, pred, pred_neg):
+        if (b is None) == (imm is None):
+            raise AssemblerError(f"{op.name}: exactly one of b/imm required")
+        use_imm = imm is not None
+        srcs = (a,) if use_imm else (a, b)
+        self.emit(Instruction(op, srcs=srcs, imm=imm or 0, use_imm=use_imm,
+                              pdst=pdst, aux=int(cmp), pred=pred, pred_neg=pred_neg))

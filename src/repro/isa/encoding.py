@@ -1,0 +1,102 @@
+"""Binary encoding of instructions.
+
+The machine format is a 64-bit *control word* plus a 32-bit *immediate word*
+(G80-era SASS similarly splits wide immediates). The control-word layout is
+what the gate-level fetch and decoder units in :mod:`repro.gatelevel.units`
+operate on, so the bit positions here are load-bearing: stuck-at faults on
+decoder output nets corrupt exactly these fields.
+
+Control word layout (LSB first)::
+
+    [ 0: 7] opcode
+    [ 8:15] dst register
+    [16:23] src0 register
+    [24:31] src1 register
+    [32:39] src2 register
+    [40:42] guard predicate index
+    [43]    guard predicate negate
+    [44:46] predicate destination (ISETP/FSETP)
+    [47]    use_imm flag
+    [48:51] AUX (CmpOp / SpecialReg / MemSpace / SEL predicate source)
+    [52:63] reserved (zero)
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.common.bitops import extract_field, insert_field
+from repro.common.exceptions import AssemblerError, IllegalInstructionError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OPCODE_INFO, is_valid_opcode
+
+# (lsb, width) of each control-word field.
+FIELD_OPCODE = (0, 8)
+FIELD_DST = (8, 8)
+FIELD_SRC = ((16, 8), (24, 8), (32, 8))
+FIELD_PRED = (40, 3)
+FIELD_PRED_NEG = (43, 1)
+FIELD_PDST = (44, 3)
+FIELD_USE_IMM = (47, 1)
+FIELD_AUX = (48, 4)
+
+CONTROL_WORD_BITS = 64
+IMM_WORD_BITS = 32
+
+
+class EncodedInstruction(NamedTuple):
+    """A packed instruction: 64-bit control word + 32-bit immediate."""
+
+    word: int
+    imm: int
+
+
+def encode(instr: Instruction) -> EncodedInstruction:
+    """Pack *instr* into its binary format."""
+    w = 0
+    w = insert_field(w, *FIELD_OPCODE, int(instr.op))
+    w = insert_field(w, *FIELD_DST, instr.dst)
+    for i, r in enumerate(instr.srcs):
+        if i >= len(FIELD_SRC):
+            raise AssemblerError(f"too many sources to encode: {instr}")
+        w = insert_field(w, *FIELD_SRC[i], r)
+    w = insert_field(w, *FIELD_PRED, instr.pred)
+    w = insert_field(w, *FIELD_PRED_NEG, int(instr.pred_neg))
+    w = insert_field(w, *FIELD_PDST, instr.pdst)
+    w = insert_field(w, *FIELD_USE_IMM, int(instr.use_imm))
+    w = insert_field(w, *FIELD_AUX, int(instr.aux))
+    return EncodedInstruction(word=w, imm=instr.imm & 0xFFFFFFFF)
+
+
+def decode(encoded: EncodedInstruction, reconv_pc: int | None = None) -> Instruction:
+    """Unpack a binary instruction.
+
+    Raises
+    ------
+    IllegalInstructionError
+        If the opcode field does not name a valid instruction (this is the
+        hardware behaviour IVOC errors rely on).
+    """
+    w = encoded.word
+    code = extract_field(w, *FIELD_OPCODE)
+    if not is_valid_opcode(code):
+        raise IllegalInstructionError(f"invalid opcode 0x{code:02x}")
+    op = Op(code)
+    info = OPCODE_INFO[op]
+    use_imm = bool(extract_field(w, *FIELD_USE_IMM))
+    nsrc = info.num_srcs - (1 if use_imm else 0)
+    if nsrc < 0:
+        raise IllegalInstructionError(f"{op.name}: immediate flag on 0-source op")
+    srcs = tuple(extract_field(w, *FIELD_SRC[i]) for i in range(nsrc))
+    return Instruction(
+        op=op,
+        dst=extract_field(w, *FIELD_DST),
+        srcs=srcs,
+        imm=encoded.imm,
+        use_imm=use_imm,
+        pred=extract_field(w, *FIELD_PRED),
+        pred_neg=bool(extract_field(w, *FIELD_PRED_NEG)),
+        pdst=extract_field(w, *FIELD_PDST),
+        aux=extract_field(w, *FIELD_AUX),
+        reconv_pc=reconv_pc,
+    )

@@ -1,0 +1,138 @@
+"""The :class:`Instruction` dataclass.
+
+An instruction is predicate-guarded (``@P3`` / ``@!P3`` in SASS syntax) and
+carries up to three register sources, an optional 32-bit immediate (which,
+when ``use_imm`` is set, replaces the last register source), and an opcode-
+specific auxiliary field (comparison selector, special-register id or memory
+space) that the encoder packs into the shared AUX field of the control word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.exceptions import AssemblerError
+from repro.isa.opcodes import Op, OPCODE_INFO, CmpOp, MemSpace, SpecialReg
+
+#: Zero register: reads as 0, writes are discarded.
+RZ = 255
+#: Always-true predicate.
+PT = 7
+
+
+@dataclass
+class Instruction:
+    """One SASS-like instruction.
+
+    Parameters mirror the encoding fields; see :mod:`repro.isa.encoding`.
+
+    Attributes
+    ----------
+    op:
+        Opcode.
+    dst:
+        Destination register index (``RZ`` to discard). For ISETP/FSETP
+        this field is unused and ``pdst`` holds the predicate destination.
+    srcs:
+        Source register indices (length == ``OPCODE_INFO[op].num_srcs``).
+    imm:
+        32-bit immediate. For memory ops it is the byte offset added to the
+        base register; for BRA it is the absolute target instruction index;
+        for MOV32I it is the value.
+    use_imm:
+        When true the *last* register source is replaced by ``imm``.
+    pred / pred_neg:
+        Guard predicate index and negation flag (``PT`` = always execute).
+    pdst:
+        Predicate destination index for ISETP/FSETP.
+    aux:
+        Opcode-specific selector: :class:`CmpOp` for ISETP/FSETP/IMNMX/FMNMX,
+        :class:`SpecialReg` for S2R, :class:`MemSpace` for loads/stores,
+        predicate-source index for SEL.
+    reconv_pc:
+        For potentially divergent BRA: the immediate-post-dominator
+        instruction index at which the warp reconverges. ``None`` marks a
+        branch the builder guarantees is warp-uniform (e.g. loop back edges
+        taken by every active thread).
+    """
+
+    op: Op
+    dst: int = RZ
+    srcs: tuple[int, ...] = ()
+    imm: int = 0
+    use_imm: bool = False
+    pred: int = PT
+    pred_neg: bool = False
+    pdst: int = PT
+    aux: int = 0
+    reconv_pc: int | None = None
+
+    def __post_init__(self) -> None:
+        info = OPCODE_INFO.get(self.op)
+        if info is None:
+            raise AssemblerError(f"unknown opcode {self.op!r}")
+        self.srcs = tuple(self.srcs)
+        expected = info.num_srcs
+        if self.use_imm:
+            if not info.may_use_imm:
+                raise AssemblerError(f"{self.op.name} cannot take an immediate operand")
+            expected -= 1
+        if len(self.srcs) != expected:
+            raise AssemblerError(
+                f"{self.op.name} expects {expected} register sources "
+                f"(use_imm={self.use_imm}), got {len(self.srcs)}"
+            )
+        for r in (self.dst, *self.srcs):
+            if not 0 <= r <= 255:
+                raise AssemblerError(f"register index {r} out of encodable range")
+        if not 0 <= self.pred <= 7:
+            raise AssemblerError(f"predicate index {self.pred} out of range")
+        if not 0 <= self.pdst <= 7:
+            raise AssemblerError(f"predicate dest {self.pdst} out of range")
+        self.imm &= 0xFFFFFFFF
+
+    @property
+    def info(self):
+        """Static metadata of this opcode."""
+        return OPCODE_INFO[self.op]
+
+    @property
+    def reads_immediate(self) -> bool:
+        """True when the dynamic behaviour consumes the immediate field."""
+        return (
+            self.use_imm
+            or self.op in (Op.MOV32I, Op.BRA)
+            or (self.info.is_mem and True)
+        )
+
+    def all_src_regs(self) -> tuple[int, ...]:
+        """Register sources actually read (after immediate substitution)."""
+        return self.srcs
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        guard = ""
+        if self.pred != PT or self.pred_neg:
+            guard = f"@{'!' if self.pred_neg else ''}P{self.pred} "
+        parts = [self.op.name]
+        info = self.info
+        ops: list[str] = []
+        if info.writes_pred:
+            ops.append(f"P{self.pdst}")
+        elif info.writes_reg:
+            ops.append(_reg(self.dst))
+        ops += [_reg(r) for r in self.srcs]
+        if self.use_imm or self.op in (Op.MOV32I, Op.BRA):
+            ops.append(f"0x{self.imm:x}")
+        elif info.is_mem:
+            ops.append(f"[+0x{self.imm:x}]")
+        if self.op is Op.S2R:
+            ops.append(SpecialReg(self.aux).name)
+        elif self.op in (Op.ISETP, Op.FSETP, Op.IMNMX, Op.FMNMX):
+            ops.append(CmpOp(self.aux).name)
+        elif info.is_mem:
+            ops.append(MemSpace(self.aux).name)
+        return guard + " ".join([parts[0], ", ".join(ops)])
+
+
+def _reg(r: int) -> str:
+    return "RZ" if r == RZ else f"R{r}"

@@ -1,0 +1,98 @@
+"""ISA reference generator.
+
+Produces the instruction-set manual from the opcode metadata itself, so
+documentation can never drift from the implementation. Used to generate
+``docs/ISA.md``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op, OPCODE_INFO, OpClass, SpecialReg, CmpOp
+
+_DESCRIPTIONS: dict[Op, str] = {
+    Op.NOP: "no operation",
+    Op.EXIT: "terminate the executing threads",
+    Op.BAR: "CTA-wide barrier",
+    Op.S2R: "read a special register (TID/CTAID/NTID/LANEID/...)",
+    Op.MOV: "register copy",
+    Op.MOV32I: "load a 32-bit immediate",
+    Op.SEL: "predicate-controlled select",
+    Op.IADD: "32-bit integer add (wrapping)",
+    Op.ISUB: "32-bit integer subtract (wrapping)",
+    Op.IMUL: "integer multiply, low 32 bits",
+    Op.IMAD: "integer multiply-add, low 32 bits",
+    Op.IMNMX: "signed integer min/max (AUX selects)",
+    Op.ISETP: "signed integer compare, writes a predicate",
+    Op.SHL: "logical shift left (amount mod 32)",
+    Op.SHR: "logical shift right (amount mod 32)",
+    Op.AND: "bitwise and",
+    Op.OR: "bitwise or",
+    Op.XOR: "bitwise xor",
+    Op.NOT: "bitwise complement",
+    Op.I2F: "int32 -> float32 conversion",
+    Op.F2I: "float32 -> int32 conversion (truncating)",
+    Op.FADD: "float32 add",
+    Op.FMUL: "float32 multiply",
+    Op.FFMA: "float32 fused multiply-add",
+    Op.FSETP: "float32 compare, writes a predicate",
+    Op.FMNMX: "float32 min/max (AUX selects)",
+    Op.FSIN: "sine (SFU)",
+    Op.FEXP: "natural exponential (SFU)",
+    Op.FLOG: "natural logarithm (SFU)",
+    Op.FRCP: "reciprocal (SFU)",
+    Op.FSQRT: "square root (SFU)",
+    Op.GLD: "global load, address = R[base] + imm",
+    Op.GST: "global store",
+    Op.LDS: "shared-memory load",
+    Op.STS: "shared-memory store",
+    Op.LDC: "constant-memory load (kernel parameters at offset 0)",
+    Op.BRA: "branch to absolute instruction index (imm)",
+}
+
+
+def isa_manual() -> str:
+    """Render the ISA reference as Markdown."""
+    out = ["# repro ISA reference", ""]
+    out.append("64-bit control word + 32-bit immediate; registers R0-R254 "
+               "plus RZ (always 0); predicates P0-P6 plus PT (always "
+               "true). Every instruction takes an optional `@[!]Pn` "
+               "guard.")
+    out.append("")
+    for cl in OpClass:
+        members = [op for op in Op if OPCODE_INFO[op].op_class is cl]
+        if not members:
+            continue
+        out.append(f"## {cl.value.upper()} class")
+        out.append("")
+        out.append("| opcode | code | srcs | writes | imm? | description |")
+        out.append("|--------|------|------|--------|------|-------------|")
+        for op in members:
+            info = OPCODE_INFO[op]
+            writes = ("pred" if info.writes_pred
+                      else "reg" if info.writes_reg else "-")
+            out.append(
+                f"| {op.name} | 0x{int(op):02X} | {info.num_srcs} | "
+                f"{writes} | {'yes' if info.may_use_imm else 'no'} | "
+                f"{_DESCRIPTIONS[op]} |"
+            )
+        out.append("")
+    out.append("## Special registers (S2R AUX field)")
+    out.append("")
+    out.append("| name | id |")
+    out.append("|------|----|")
+    for sr in SpecialReg:
+        out.append(f"| {sr.name} | {int(sr)} |")
+    out.append("")
+    out.append("## Comparison selectors (AUX field of ISETP/FSETP/MNMX)")
+    out.append("")
+    out.append(", ".join(f"{c.name}={int(c)}" for c in CmpOp))
+    out.append("")
+    return "\n".join(out)
+
+
+def write_manual(path: str = "docs/ISA.md") -> None:  # pragma: no cover
+    from pathlib import Path
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(isa_manual())

@@ -1,0 +1,195 @@
+"""Opcode space and per-opcode metadata.
+
+The 8-bit opcode space is sparsely populated on purpose: flipping opcode bits
+(the paper's IOC/IVOC error models) must be able to land either on a *valid*
+different instruction (IOC) or on an *invalid* encoding (IVOC), exactly as in
+real SASS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """Execution resource an opcode occupies (drives utilization stats and
+    the error-model "unit" attribution)."""
+
+    MISC = "misc"
+    INT = "int"
+    FP32 = "fp32"
+    SFU = "sfu"
+    MEM = "mem"
+    CTRL = "ctrl"
+
+
+class Op(enum.IntEnum):
+    """Valid opcodes. Gaps in the numbering are invalid encodings."""
+
+    NOP = 0x00
+    EXIT = 0x01
+    BAR = 0x02
+    S2R = 0x03
+    MOV = 0x04
+    MOV32I = 0x05
+    SEL = 0x06
+
+    IADD = 0x10
+    ISUB = 0x11
+    IMUL = 0x12
+    IMAD = 0x13
+    IMNMX = 0x14
+    ISETP = 0x15
+    SHL = 0x16
+    SHR = 0x17
+    AND = 0x18
+    OR = 0x19
+    XOR = 0x1A
+    NOT = 0x1B
+    I2F = 0x1C
+    F2I = 0x1D
+
+    FADD = 0x20
+    FMUL = 0x21
+    FFMA = 0x22
+    FSETP = 0x23
+    FMNMX = 0x24
+
+    FSIN = 0x30
+    FEXP = 0x31
+    FLOG = 0x32
+    FRCP = 0x33
+    FSQRT = 0x34
+
+    GLD = 0x40
+    GST = 0x41
+    LDS = 0x42
+    STS = 0x43
+    LDC = 0x44
+
+    BRA = 0x50
+
+
+class SpecialReg(enum.IntEnum):
+    """Source selector for the S2R instruction."""
+
+    TID_X = 0
+    TID_Y = 1
+    TID_Z = 2
+    CTAID_X = 3
+    CTAID_Y = 4
+    CTAID_Z = 5
+    NTID_X = 6
+    NTID_Y = 7
+    NTID_Z = 8
+    NCTAID_X = 9
+    LANEID = 10
+    WARPID = 11
+    SMID = 12
+    NCTAID_Y = 13
+    NCTAID_Z = 14
+
+
+class CmpOp(enum.IntEnum):
+    """Comparison selector for ISETP/FSETP and min/max selector for *MNMX."""
+
+    LT = 0
+    LE = 1
+    GT = 2
+    GE = 3
+    EQ = 4
+    NE = 5
+    MIN = 6
+    MAX = 7
+
+
+class MemSpace(enum.IntEnum):
+    """Memory space selector carried by load/store opcodes."""
+
+    GLOBAL = 0
+    SHARED = 1
+    CONSTANT = 2
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for an opcode.
+
+    Attributes
+    ----------
+    op_class:
+        Execution unit class.
+    num_srcs:
+        How many register source operands the instruction reads
+        (before immediate substitution).
+    writes_reg:
+        Whether the destination register field is written.
+    writes_pred:
+        Whether the instruction writes a predicate register (ISETP/FSETP).
+    may_use_imm:
+        Whether the instruction supports replacing its last register source
+        with the 32-bit immediate.
+    is_mem:
+        Whether the instruction accesses memory; mem instructions use
+        ``src1`` as the address base register.
+    is_branch:
+        Whether the instruction can redirect control flow.
+    """
+
+    op_class: OpClass
+    num_srcs: int
+    writes_reg: bool = True
+    writes_pred: bool = False
+    may_use_imm: bool = True
+    is_mem: bool = False
+    is_branch: bool = False
+
+
+OPCODE_INFO: dict[Op, OpInfo] = {
+    Op.NOP: OpInfo(OpClass.MISC, 0, writes_reg=False, may_use_imm=False),
+    Op.EXIT: OpInfo(OpClass.CTRL, 0, writes_reg=False, may_use_imm=False),
+    Op.BAR: OpInfo(OpClass.CTRL, 0, writes_reg=False, may_use_imm=False),
+    Op.S2R: OpInfo(OpClass.MISC, 0, may_use_imm=False),
+    Op.MOV: OpInfo(OpClass.MISC, 1),
+    Op.MOV32I: OpInfo(OpClass.MISC, 0),
+    Op.SEL: OpInfo(OpClass.MISC, 2),
+    Op.IADD: OpInfo(OpClass.INT, 2),
+    Op.ISUB: OpInfo(OpClass.INT, 2),
+    Op.IMUL: OpInfo(OpClass.INT, 2),
+    Op.IMAD: OpInfo(OpClass.INT, 3),
+    Op.IMNMX: OpInfo(OpClass.INT, 2),
+    Op.ISETP: OpInfo(OpClass.INT, 2, writes_reg=False, writes_pred=True),
+    Op.SHL: OpInfo(OpClass.INT, 2),
+    Op.SHR: OpInfo(OpClass.INT, 2),
+    Op.AND: OpInfo(OpClass.INT, 2),
+    Op.OR: OpInfo(OpClass.INT, 2),
+    Op.XOR: OpInfo(OpClass.INT, 2),
+    Op.NOT: OpInfo(OpClass.INT, 1),
+    Op.I2F: OpInfo(OpClass.INT, 1, may_use_imm=False),
+    Op.F2I: OpInfo(OpClass.INT, 1, may_use_imm=False),
+    Op.FADD: OpInfo(OpClass.FP32, 2),
+    Op.FMUL: OpInfo(OpClass.FP32, 2),
+    Op.FFMA: OpInfo(OpClass.FP32, 3),
+    Op.FSETP: OpInfo(OpClass.FP32, 2, writes_reg=False, writes_pred=True),
+    Op.FMNMX: OpInfo(OpClass.FP32, 2),
+    Op.FSIN: OpInfo(OpClass.SFU, 1, may_use_imm=False),
+    Op.FEXP: OpInfo(OpClass.SFU, 1, may_use_imm=False),
+    Op.FLOG: OpInfo(OpClass.SFU, 1, may_use_imm=False),
+    Op.FRCP: OpInfo(OpClass.SFU, 1, may_use_imm=False),
+    Op.FSQRT: OpInfo(OpClass.SFU, 1, may_use_imm=False),
+    Op.GLD: OpInfo(OpClass.MEM, 1, is_mem=True, may_use_imm=False),
+    Op.GST: OpInfo(OpClass.MEM, 2, writes_reg=False, is_mem=True, may_use_imm=False),
+    Op.LDS: OpInfo(OpClass.MEM, 1, is_mem=True, may_use_imm=False),
+    Op.STS: OpInfo(OpClass.MEM, 2, writes_reg=False, is_mem=True, may_use_imm=False),
+    Op.LDC: OpInfo(OpClass.MEM, 1, is_mem=True, may_use_imm=False),
+    Op.BRA: OpInfo(OpClass.CTRL, 0, writes_reg=False, is_branch=True, may_use_imm=False),
+}
+
+#: Opcode numeric values considered valid encodings.
+VALID_OPCODES: frozenset[int] = frozenset(int(op) for op in Op)
+
+
+def is_valid_opcode(code: int) -> bool:
+    """True when *code* is a defined opcode (IVOC errors hit the others)."""
+    return code in VALID_OPCODES

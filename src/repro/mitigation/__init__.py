@@ -1,0 +1,32 @@
+"""Detection/mitigation prototypes (paper §5.3 discussion).
+
+The paper closes by sketching counter-measures: *"control-flow-checking
+strategies combined with smart thread scheduling replication can be a
+potential countermeasure against permanent faults in the WSC"*, while
+fetch/decoder faults (DUE-dominated) call for hardware hardening. This
+package prototypes the software side of that proposal on the simulator:
+
+* :class:`DmrDetector` — temporal dual-modular redundancy: run the kernel
+  twice and compare outputs (detects SDCs; DUEs are detected by
+  construction).
+* :class:`ControlFlowChecker` — control-flow checking: compare the
+  per-warp dynamic branch signature against the fault-free signature
+  (detects work-flow violations and scheduler-induced control
+  corruption even when outputs happen to match).
+* :func:`evaluate_detection` — detection-coverage campaign per error
+  model, the quantitative version of the paper's qualitative argument.
+"""
+
+from repro.mitigation.detectors import (
+    ControlFlowChecker,
+    DetectionReport,
+    DmrDetector,
+    evaluate_detection,
+)
+
+__all__ = [
+    "DmrDetector",
+    "ControlFlowChecker",
+    "DetectionReport",
+    "evaluate_detection",
+]

@@ -1,0 +1,63 @@
+"""Campaign-scale presets.
+
+Three sizes, one knob: ``TINY`` (CI/laptop smoke, seconds-to-minutes),
+``SMALL`` (overnight-quality statistics, tens of minutes), ``PAPER``
+(the paper's campaign sizes — exhaustive fault lists, 1,000 injections
+per app per model; hours, like the original 300 h GPU campaign scaled by
+our simulator's speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class ReproductionScale:
+    """All campaign-size knobs in one object."""
+
+    name: str
+    workload_scale: str          # workload size preset
+    gate_max_faults: int | None  # None = exhaustive stuck-at list
+    gate_max_stimuli: int
+    rtl_max_sites: int | None
+    rtl_values_per_range: int
+    epr_injections: int
+
+    def __post_init__(self) -> None:
+        if self.workload_scale not in ("tiny", "small", "paper"):
+            raise ConfigError(f"bad workload scale {self.workload_scale!r}")
+
+
+TINY = ReproductionScale(
+    name="tiny", workload_scale="tiny",
+    gate_max_faults=768, gate_max_stimuli=32,
+    rtl_max_sites=80, rtl_values_per_range=1,
+    epr_injections=8,
+)
+
+SMALL = ReproductionScale(
+    name="small", workload_scale="small",
+    gate_max_faults=4096, gate_max_stimuli=160,
+    rtl_max_sites=300, rtl_values_per_range=2,
+    epr_injections=100,
+)
+
+PAPER = ReproductionScale(
+    name="paper", workload_scale="paper",
+    gate_max_faults=None, gate_max_stimuli=1000,
+    rtl_max_sites=None, rtl_values_per_range=4,
+    epr_injections=1000,
+)
+
+PRESETS: dict[str, ReproductionScale] = {
+    p.name: p for p in (TINY, SMALL, PAPER)
+}
+
+
+def get_preset(name: str) -> ReproductionScale:
+    if name not in PRESETS:
+        raise ConfigError(f"unknown preset {name!r}; have {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,22 @@
+"""Hardware unit profiling (step 1 of the paper's method).
+
+Runs the 14 profiling workloads on the functional simulator with tracing
+enabled and extracts, for every dynamic instruction, the *exciting
+pattern* (encoded instruction word + parallel context) that the gate-level
+campaigns replay into the unit inputs. Also produces the unit-utilization
+statistics of Table 4.
+"""
+
+from repro.profiling.profiler import (
+    ProfileResult,
+    profile_workloads,
+    stimuli_from_program,
+    utilization_table,
+)
+
+__all__ = [
+    "ProfileResult",
+    "profile_workloads",
+    "stimuli_from_program",
+    "utilization_table",
+]

@@ -1,0 +1,32 @@
+"""NVBitPERfi — the software-level permanent-error injector (paper §5).
+
+Implements the paper's Hardware-Injection-through-Program-Transformation
+(HIPT) approach: for each of the 11 software-injectable error models, a
+pair of *error functions* is attached before/after every SASS instruction
+the corrupted hardware would touch, parameterized by an
+:class:`~repro.errormodels.descriptor.ErrorDescriptor` (SM, sub-partition,
+warp slots, threads, bit masks). Because the fault is permanent, *every*
+dynamic instruction mapped to the faulty unit is corrupted, across every
+kernel of the application.
+
+:mod:`repro.swinjector.campaign` evaluates the Error Propagation Rate
+(Masked / SDC / DUE) of each model over the 15 applications — the data of
+Figures 10 and 11.
+"""
+
+from repro.swinjector.instrumentation import NVBitPERfi, make_descriptor
+from repro.swinjector.campaign import (
+    EprResult,
+    InjectionOutcome,
+    SwCampaignConfig,
+    run_epr_campaign,
+)
+
+__all__ = [
+    "NVBitPERfi",
+    "make_descriptor",
+    "EprResult",
+    "InjectionOutcome",
+    "SwCampaignConfig",
+    "run_epr_campaign",
+]

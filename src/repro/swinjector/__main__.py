@@ -1,0 +1,69 @@
+"""CLI: run NVBitPERfi EPR campaigns from the shell.
+
+Examples::
+
+    python -m repro.swinjector --apps gemm bfs --models IAT WV -n 50
+    python -m repro.swinjector --scale small -n 100 --processes 4 \\
+        --save epr.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+from repro.errormodels.models import ErrorModel, SW_INJECTABLE
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+from repro.workloads.registry import EVALUATION_APPS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.swinjector",
+        description="Software-level permanent-error (EPR) campaign.",
+    )
+    parser.add_argument("--apps", nargs="+", default=list(EVALUATION_APPS),
+                        choices=list(EVALUATION_APPS), metavar="APP")
+    parser.add_argument("--models", nargs="+",
+                        default=[m.value for m in SW_INJECTABLE],
+                        choices=[m.value for m in ErrorModel],
+                        metavar="MODEL")
+    parser.add_argument("-n", "--injections", type=int, default=20)
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=0x5C23)
+    parser.add_argument("--processes", type=int, default=1)
+    parser.add_argument("--save", type=str, default=None,
+                        help="serialize the result to this JSON file")
+    args = parser.parse_args(argv)
+
+    cfg = SwCampaignConfig(
+        apps=tuple(args.apps),
+        models=tuple(ErrorModel(m) for m in args.models),
+        injections_per_model=args.injections,
+        scale=args.scale,
+        seed=args.seed,
+        processes=args.processes,
+    )
+    res = run_epr_campaign(cfg)
+
+    rows = []
+    for model in cfg.models:
+        avg = res.average_epr(model)
+        rows.append({"model": model.value, "masked_%": avg["masked"],
+                     "sdc_%": avg["sdc"], "due_%": avg["due"]})
+    print(format_table(rows))
+    print(f"\noverall EPR (non-masked): {res.overall_epr():.1f}%  "
+          f"({len(res.outcomes)} injections)")
+
+    if args.save:
+        from repro.faultinjection.results import save_result
+
+        save_result(res, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

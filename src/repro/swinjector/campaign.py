@@ -1,0 +1,157 @@
+"""EPR campaigns: Masked / SDC / DUE per (application, error model).
+
+Reproduces the paper's §5.2 evaluation: N error injections per
+application per model, each with a fresh random descriptor targeting one
+sub-partition of SM0, classified against a golden run. Campaign scale is
+configurable; the paper used 1,000 injections per (app, model).
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing as mp
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import DeviceError
+from repro.common.rng import DEFAULT_SEED
+from repro.errormodels.models import ErrorModel, SW_INJECTABLE
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.device import Device
+from repro.swinjector.instrumentation import NVBitPERfi, make_descriptor
+from repro.workloads import get_workload
+from repro.workloads.registry import EVALUATION_APPS
+
+OUTCOMES = ("masked", "sdc", "due")
+
+
+@dataclass(frozen=True)
+class SwCampaignConfig:
+    """Software-level campaign parameters (scaled-down defaults)."""
+
+    apps: tuple[str, ...] = tuple(EVALUATION_APPS)
+    models: tuple[ErrorModel, ...] = tuple(SW_INJECTABLE)
+    injections_per_model: int = 20
+    scale: str = "tiny"
+    seed: int = DEFAULT_SEED
+    processes: int = 1
+    mem_words: int = 1 << 20
+
+
+@dataclass
+class InjectionOutcome:
+    app: str
+    model: ErrorModel
+    outcome: str
+    due_reason: str | None = None
+    activations: int = 0
+
+
+@dataclass
+class EprResult:
+    """Aggregated Error Propagation Rates."""
+
+    config: SwCampaignConfig
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+
+    def counts(self, app: str, model: ErrorModel) -> dict[str, int]:
+        c = Counter(o.outcome for o in self.outcomes
+                    if o.app == app and o.model == model)
+        return {k: c.get(k, 0) for k in OUTCOMES}
+
+    def epr(self, app: str, model: ErrorModel) -> dict[str, float]:
+        """Fig 10 cell: percentage Masked / SDC / DUE."""
+        c = self.counts(app, model)
+        n = max(sum(c.values()), 1)
+        return {k: 100.0 * v / n for k, v in c.items()}
+
+    def average_epr(self, model: ErrorModel) -> dict[str, float]:
+        """Fig 11 bar: EPR averaged over the applications."""
+        rates = [self.epr(app, model) for app in self.config.apps
+                 if sum(self.counts(app, model).values())]
+        if not rates:
+            return {k: 0.0 for k in OUTCOMES}
+        return {k: float(np.mean([r[k] for r in rates])) for k in OUTCOMES}
+
+    def overall_epr(self) -> float:
+        """Share of injections that were *not* masked (paper: avg 84.2%)."""
+        n = len(self.outcomes)
+        if not n:
+            return 0.0
+        return 100.0 * sum(o.outcome != "masked" for o in self.outcomes) / n
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_workload(app: str, scale: str, seed: int):
+    """Workload instances are immutable after construction (seeded data +
+    cached programs), so one instance serves every injection."""
+    return get_workload(app, scale=scale, seed=seed)
+
+
+def _golden_bits(app: str, scale: str, seed: int, mem_words: int):
+    w = _cached_workload(app, scale, seed)
+    dev = Device(DeviceConfig(global_mem_words=mem_words))
+    instructions = {"n": 0}
+
+    def launcher(program, grid, block, params=(), shared_words=None):
+        res = dev.launch(program, grid, block, params=params,
+                         shared_words=shared_words)
+        instructions["n"] += res.instructions_executed
+        return res
+
+    bits = w.run(dev, launcher)
+    return bits, instructions["n"]
+
+
+def run_one_injection(app: str, model: ErrorModel, index: int,
+                      config: SwCampaignConfig, golden: np.ndarray,
+                      watchdog: int) -> InjectionOutcome:
+    """One NVBitPERfi run: fresh device, instrumented launches, classify."""
+    desc = make_descriptor(model, config.seed, index)
+    tool = NVBitPERfi(desc)
+    w = _cached_workload(app, config.scale, config.seed)
+    dev = Device(DeviceConfig(global_mem_words=config.mem_words))
+
+    def launcher(program, grid, block, params=(), shared_words=None):
+        return dev.launch(program, grid, block, params=params,
+                          shared_words=shared_words, watchdog=watchdog,
+                          instrumentation=tool)
+
+    try:
+        bits = w.run(dev, launcher)
+    except DeviceError as exc:
+        return InjectionOutcome(app, model, "due", due_reason=exc.reason,
+                                activations=tool.activations)
+    outcome = "masked" if np.array_equal(bits, golden) else "sdc"
+    return InjectionOutcome(app, model, outcome, activations=tool.activations)
+
+
+def _worker(args) -> list[InjectionOutcome]:
+    app, model, indices, config, golden, watchdog = args
+    return [run_one_injection(app, model, i, config, golden, watchdog)
+            for i in indices]
+
+
+def run_epr_campaign(config: SwCampaignConfig | None = None) -> EprResult:
+    """Run the full software-level campaign of Figures 10/11."""
+    config = config or SwCampaignConfig()
+    result = EprResult(config=config)
+    jobs = []
+    for app in config.apps:
+        golden, dyn = _golden_bits(app, config.scale, config.seed,
+                                   config.mem_words)
+        watchdog = 10 * dyn + 10_000
+        for model in config.models:
+            indices = list(range(config.injections_per_model))
+            jobs.append((app, model, indices, config, golden, watchdog))
+    if config.processes > 1:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(config.processes) as pool:
+            for chunk in pool.map(_worker, jobs):
+                result.outcomes.extend(chunk)
+    else:
+        for job in jobs:
+            result.outcomes.extend(_worker(job))
+    return result

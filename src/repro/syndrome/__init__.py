@@ -1,0 +1,30 @@
+"""Fault-syndrome analysis (paper §4.3-4.5).
+
+* :mod:`repro.syndrome.powerlaw` — Clauset-style power-law fitting
+  (MLE alpha, KS-minimizing x_min) and the Eq.(1) inverse-CDF sampler
+  used to inject realistic relative errors in software.
+* :mod:`repro.syndrome.patterns` — spatial classification of multiple
+  corrupted elements in a matrix output (row / column / row+col / block /
+  random / all), Fig 7 and Table 3.
+* :mod:`repro.syndrome.stats` — distribution summaries and the
+  non-Gaussianity check (Shapiro-Wilk) of §4.3.
+"""
+
+from repro.syndrome.powerlaw import PowerLawFit, fit_power_law, sample_power_law
+from repro.syndrome.patterns import SpatialPattern, classify_pattern
+from repro.syndrome.stats import (
+    is_gaussian,
+    log_histogram,
+    syndrome_summary,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "sample_power_law",
+    "SpatialPattern",
+    "classify_pattern",
+    "is_gaussian",
+    "log_histogram",
+    "syndrome_summary",
+]

@@ -1,0 +1,81 @@
+"""Spatial classification of multiple corrupted matrix elements (Fig 7).
+
+The paper observes six multiple-corruption geometries in the t-MxM output:
+one row, one column, a row plus a column, a (variable-size) block, random
+positions, and the whole (or almost whole) matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class SpatialPattern(enum.Enum):
+    SINGLE = "single"
+    ROW = "row"
+    COL = "col"
+    ROW_COL = "row+col"
+    BLOCK = "block"
+    RANDOM = "random"
+    ALL = "all"
+
+
+def classify_pattern(indices: np.ndarray, shape: tuple[int, int]
+                     ) -> SpatialPattern:
+    """Classify the corrupted linear *indices* of a matrix of *shape*."""
+    n_rows, n_cols = shape
+    idx = np.unique(np.asarray(indices, dtype=np.int64))
+    if idx.size == 0:
+        raise ValueError("no corrupted elements to classify")
+    if idx.size == 1:
+        return SpatialPattern.SINGLE
+    if idx.size >= 0.9 * n_rows * n_cols:
+        return SpatialPattern.ALL
+    rows = idx // n_cols
+    cols = idx % n_cols
+    urows = np.unique(rows)
+    ucols = np.unique(cols)
+    if len(urows) == 1 and idx.size >= 0.75 * n_cols:
+        return SpatialPattern.ROW
+    if len(ucols) == 1 and idx.size >= 0.75 * n_rows:
+        return SpatialPattern.COL
+    # one full-ish row plus one full-ish column
+    if _is_row_plus_col(rows, cols, n_rows, n_cols):
+        return SpatialPattern.ROW_COL
+    # contiguous block: dense bounding box, at least 2x2
+    height = urows.max() - urows.min() + 1
+    width = ucols.max() - ucols.min() + 1
+    if height >= 2 and width >= 2 and idx.size >= 0.6 * height * width \
+            and height < n_rows and width < n_cols:
+        return SpatialPattern.BLOCK
+    return SpatialPattern.RANDOM
+
+
+def _is_row_plus_col(rows: np.ndarray, cols: np.ndarray,
+                     n_rows: int, n_cols: int) -> bool:
+    for r in np.unique(rows):
+        rest = rows != r
+        if not rest.any():
+            continue
+        rest_cols = np.unique(cols[rest])
+        if len(rest_cols) == 1:
+            # elements outside row r form a single column; require the row
+            # and column to be reasonably populated
+            in_row = (~rest).sum()
+            in_col = rest.sum()
+            if in_row >= n_cols // 2 and in_col >= 2:
+                return True
+    return False
+
+
+def pattern_histogram(patterns: list[SpatialPattern]) -> dict[SpatialPattern, float]:
+    """Percentage per pattern among multi-element corruptions (Table 3)."""
+    multi = [p for p in patterns if p is not SpatialPattern.SINGLE]
+    out = {p: 0.0 for p in SpatialPattern if p is not SpatialPattern.SINGLE}
+    if not multi:
+        return out
+    for p in multi:
+        out[p] += 100.0 / len(multi)
+    return out

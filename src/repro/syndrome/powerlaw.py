@@ -1,0 +1,84 @@
+"""Power-law syndrome model (paper Eq. (1), after Clauset et al. 2007).
+
+The observed relative-error syndromes concentrate on few values and are
+modelled as a continuous power law ``p(x) ~ x^-alpha for x >= x_min``.
+Fitting follows Clauset/Shalizi/Newman: alpha by maximum likelihood,
+x_min by minimizing the Kolmogorov-Smirnov distance between data and fit.
+Sampling inverts the CDF: ``x = x_min * (1 - r)^(-1/(alpha-1))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigError
+from repro.common.rng import make_rng
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Fitted power-law parameters."""
+
+    alpha: float
+    x_min: float
+    ks_distance: float
+    n_tail: int
+
+    def sample(self, n: int, seed: int = 0) -> np.ndarray:
+        """Draw *n* syndromes via the Eq.(1) PRNG."""
+        return sample_power_law(self.alpha, self.x_min, n, seed=seed)
+
+
+def _alpha_mle(tail: np.ndarray, x_min: float) -> float:
+    return 1.0 + len(tail) / np.sum(np.log(tail / x_min))
+
+
+def _ks(tail: np.ndarray, alpha: float, x_min: float) -> float:
+    tail = np.sort(tail)
+    n = len(tail)
+    emp = np.arange(1, n + 1) / n
+    model = 1.0 - (tail / x_min) ** (1.0 - alpha)
+    return float(np.max(np.abs(emp - model)))
+
+
+def fit_power_law(data: np.ndarray, n_xmin_candidates: int = 50) -> PowerLawFit:
+    """Fit a continuous power law to positive samples.
+
+    x_min is chosen among quantile candidates to minimize the KS distance
+    of the tail, alpha by MLE on the tail (Clauset et al.).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    data = data[np.isfinite(data) & (data > 0)]
+    if data.size < 10:
+        raise ConfigError(f"need at least 10 positive samples, got {data.size}")
+    qs = np.quantile(data, np.linspace(0.0, 0.9, n_xmin_candidates))
+    candidates = np.unique(qs[qs > 0])
+    best: PowerLawFit | None = None
+    for x_min in candidates:
+        tail = data[data >= x_min]
+        if tail.size < 10 or np.allclose(tail, tail[0]):
+            continue
+        alpha = _alpha_mle(tail, x_min)
+        if not np.isfinite(alpha) or alpha <= 1.0:
+            continue
+        ks = _ks(tail, alpha, x_min)
+        if best is None or ks < best.ks_distance:
+            best = PowerLawFit(alpha=float(alpha), x_min=float(x_min),
+                               ks_distance=ks, n_tail=int(tail.size))
+    if best is None:
+        raise ConfigError("no valid power-law fit found (degenerate data)")
+    return best
+
+
+def sample_power_law(alpha: float, x_min: float, n: int,
+                     seed: int = 0) -> np.ndarray:
+    """Eq. (1): relative_error = x_min * (1 - r)^(-1/(alpha-1))."""
+    if alpha <= 1.0:
+        raise ConfigError("power-law sampling requires alpha > 1")
+    if x_min <= 0:
+        raise ConfigError("x_min must be positive")
+    rng = make_rng(seed, "powerlaw-sample", alpha, x_min, n)
+    r = rng.uniform(0.0, 1.0, size=n)
+    return x_min * (1.0 - r) ** (-1.0 / (alpha - 1.0))

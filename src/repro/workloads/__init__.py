@@ -1,0 +1,36 @@
+"""Workloads: the applications the paper injects errors into.
+
+Three families:
+
+* the **15 evaluation applications** of Table 1 (vectoradd, lava, mxm,
+  gemm, hotspot, gaussian, bfs, lud, accl, nw, cfd, quicksort, mergesort,
+  lenet, yolov3) — used by the software-level NVBitPERfi campaigns;
+* the **14 profiling workloads** used to extract the gate-level stimuli
+  (sort, vector_add, fft, tiled/naive MxM, reduction, gray_filter, sobel,
+  scalar-vector multiply, nn, scan_3d, transpose, euler_3d, backprop);
+* the **RTL characterization programs**: 12 single-instruction
+  micro-benchmarks and the tile-based matrix-multiplication mini-app
+  (t-MxM).
+
+Every workload is written against :class:`repro.isa.KernelBuilder` and runs
+on :class:`repro.gpusim.Device`.
+"""
+
+from repro.workloads.base import Workload, WorkloadMeta, Launcher, default_launcher
+from repro.workloads.registry import (
+    EVALUATION_APPS,
+    PROFILING_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadMeta",
+    "Launcher",
+    "default_launcher",
+    "EVALUATION_APPS",
+    "PROFILING_WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

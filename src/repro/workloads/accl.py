@@ -1,0 +1,149 @@
+"""accl — connected-component labeling by iterative label propagation
+(NUPAR ACCL style, INT32): each pass takes the minimum label among
+4-neighbours of foreground pixels until a fixed point is reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp, SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+
+
+class ACCL(Workload):
+    meta = WorkloadMeta("accl", "INT32", "Graphs", "NUPAR")
+    scales = {
+        "tiny": {"n": 8, "density": 0.6},
+        "small": {"n": 16, "density": 0.6},
+        "paper": {"n": 64, "density": 0.6},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.fg = (self.rng.uniform(size=(n, n)) < self.params["density"]).astype(
+            np.uint32
+        )
+
+    def _build_programs(self):
+        k = KernelBuilder("accl_propagate", nregs=48)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        col = k.reg()
+        k.imad(col, cx, k.s2r_ntid_x(), tx)
+        row = k.reg()
+        k.imad(row, cy, k.s2r_new(SpecialReg.NTID_Y), ty)
+        n = k.load_param(0)
+        fg_ptr = k.load_param(1)
+        lbl_in = k.load_param(2)
+        lbl_out = k.load_param(3)
+        flag_ptr = k.load_param(4)
+
+        idx = k.reg()
+        k.imad(idx, row, n, col)
+        ib = k.reg()
+        k.shl(ib, idx, imm=2)
+        faddr = k.reg()
+        k.iadd(faddr, fg_ptr, ib)
+        fgv = k.reg()
+        k.gld(fgv, faddr)
+        iaddr = k.reg()
+        k.iadd(iaddr, lbl_in, ib)
+        cur = k.reg()
+        k.gld(cur, iaddr)
+        oaddr = k.reg()
+        k.iadd(oaddr, lbl_out, ib)
+        # background: copy through
+        zero = k.mov32i_new(0)
+        pbg = k.pred()
+        k.isetp(pbg, fgv, zero, CmpOp.EQ)
+        with k.if_(pbg):
+            k.gst(oaddr, cur)
+            k.exit()
+
+        best = k.reg()
+        k.mov(best, cur)
+        nm1 = k.reg()
+        k.iadd(nm1, n, imm=-1 & 0xFFFFFFFF)
+        nr, nc, nidx, naddr, nfg, nlbl = (k.reg(), k.reg(), k.reg(),
+                                          k.reg(), k.reg(), k.reg())
+        pval = k.pred()
+        pok = k.pred()
+
+        def neighbour(dr: int, dc: int) -> None:
+            k.iadd(nr, row, imm=dr & 0xFFFFFFFF)
+            k.iadd(nc, col, imm=dc & 0xFFFFFFFF)
+            # bounds check: 0 <= nr,nc <= n-1 (unsigned trick: nr <= nm1)
+            k.isetp(pok, nr, nm1, CmpOp.LE)
+            k.isetp(pval, nr, zero, CmpOp.GE)
+            with k.if_(pok):
+                with k.if_(pval):
+                    k.isetp(pok, nc, nm1, CmpOp.LE)
+                    k.isetp(pval, nc, zero, CmpOp.GE)
+                    with k.if_(pok):
+                        with k.if_(pval):
+                            k.imad(nidx, nr, n, nc)
+                            k.shl(nidx, nidx, imm=2)
+                            k.iadd(naddr, fg_ptr, nidx)
+                            k.gld(nfg, naddr)
+                            k.isetp(pok, nfg, zero, CmpOp.NE)
+                            with k.if_(pok):
+                                k.iadd(naddr, lbl_in, nidx)
+                                k.gld(nlbl, naddr)
+                                k.imnmx(best, best, nlbl, mode=CmpOp.MIN)
+
+        neighbour(-1, 0)
+        neighbour(1, 0)
+        neighbour(0, -1)
+        neighbour(0, 1)
+
+        k.gst(oaddr, best)
+        pch = k.pred()
+        k.isetp(pch, best, cur, CmpOp.NE)
+        one = k.mov32i_new(1)
+        k.gst(flag_ptr, one, pred=pch)
+        k.exit()
+        return {"accl_propagate": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        p_fg = device.alloc_array(self.fg)
+        labels = np.where(self.fg.ravel() > 0,
+                          np.arange(n * n, dtype=np.int64),
+                          np.int64(0x7FFFFFFF)).astype(np.int32)
+        p_a = device.alloc_array(labels.view(np.uint32))
+        p_b = device.alloc(n * n)
+        p_flag = device.alloc(1)
+        t = min(8, n)
+        grid = (n // t, n // t)
+        src, dst = p_a, p_b
+        for _ in range(n * n):
+            device.write(p_flag, np.zeros(1, dtype=np.uint32))
+            launcher(self.program(), grid=grid, block=(t, t),
+                     params=[n, p_fg, src, dst, p_flag])
+            src, dst = dst, src
+            if device.read(p_flag, 1)[0] == 0:
+                break
+        return self._bits(device.read(src, n * n, np.int32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        lbl = np.where(self.fg > 0,
+                       np.arange(n * n).reshape(n, n),
+                       0x7FFFFFFF).astype(np.int64)
+        while True:
+            big = 0x7FFFFFFF
+            padded = np.pad(lbl, 1, constant_values=big)
+            fgp = np.pad(self.fg, 1, constant_values=0)
+            cand = lbl.copy()
+            for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                nl = padded[1 + dr:1 + dr + n, 1 + dc:1 + dc + n]
+                nf = fgp[1 + dr:1 + dr + n, 1 + dc:1 + dc + n]
+                cand = np.where((self.fg > 0) & (nf > 0), np.minimum(cand, nl), cand)
+            if np.array_equal(cand, lbl):
+                break
+            lbl = cand
+        return lbl.astype(np.int32).ravel()

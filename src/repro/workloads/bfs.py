@@ -1,0 +1,171 @@
+"""bfs — frontier-based breadth-first search (Rodinia, INT32).
+
+Two kernels per level plus a host-read continuation flag, reproducing the
+many-short-kernels, data-dependent-loop profile that gives bfs its near-100%
+EPR in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+
+def random_graph(rng: np.random.Generator, n: int, avg_degree: int):
+    """Random directed graph in CSR form (offsets, edges)."""
+    degrees = rng.integers(1, 2 * avg_degree, size=n)
+    offsets = np.zeros(n + 1, dtype=np.uint32)
+    offsets[1:] = np.cumsum(degrees)
+    edges = rng.integers(0, n, size=int(offsets[-1])).astype(np.uint32)
+    return offsets, edges
+
+
+class BFS(Workload):
+    meta = WorkloadMeta("bfs", "INT32", "Graphs", "Rodinia")
+    scales = {
+        "tiny": {"n": 64, "deg": 3},
+        "small": {"n": 256, "deg": 4},
+        "paper": {"n": 4096, "deg": 6},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.offsets, self.edges = random_graph(self.rng, n, self.params["deg"])
+        self.source = 0
+
+    def _build_programs(self):
+        # kernel 1: expand the frontier
+        k1 = KernelBuilder("bfs_kernel", nregs=40)
+        g = global_tid_x(k1)
+        n = k1.load_param(0)
+        guard_exit_ge(k1, g, n)
+        off_ptr = k1.load_param(1)
+        edge_ptr = k1.load_param(2)
+        cost_ptr = k1.load_param(3)
+        mask_ptr = k1.load_param(4)
+        upd_ptr = k1.load_param(5)
+
+        gofs = k1.reg()
+        k1.shl(gofs, g, imm=2)
+        maddr = k1.reg()
+        k1.iadd(maddr, mask_ptr, gofs)
+        mval = k1.reg()
+        k1.gld(mval, maddr)
+        zero = k1.mov32i_new(0)
+        pin = k1.pred()
+        k1.isetp(pin, mval, zero, CmpOp.EQ)
+        with k1.if_(pin):
+            k1.exit()
+        k1.gst(maddr, zero)  # leave the frontier
+        caddr = k1.reg()
+        k1.iadd(caddr, cost_ptr, gofs)
+        my_cost = k1.reg()
+        k1.gld(my_cost, caddr)
+        new_cost = k1.reg()
+        k1.iadd(new_cost, my_cost, imm=1)
+        # edge range [offsets[g], offsets[g+1])
+        oaddr = k1.reg()
+        k1.iadd(oaddr, off_ptr, gofs)
+        e0 = k1.reg()
+        k1.gld(e0, oaddr)
+        e1 = k1.reg()
+        k1.gld(e1, oaddr, offset=4)
+        e = k1.reg()
+        eaddr, nbr, ncost, naddr, uaddr = (k1.reg(), k1.reg(), k1.reg(),
+                                           k1.reg(), k1.reg())
+        one = k1.mov32i_new(1)
+        minus1 = k1.mov32i_new(0xFFFFFFFF)
+        pv = k1.pred()
+        k1.mov(e, e0)
+        with k1.loop() as lp:
+            pdone = k1.pred()
+            k1.isetp(pdone, e, e1, CmpOp.GE)
+            lp.break_if(pdone)
+            k1._next_pred -= 1
+            k1.shl(eaddr, e, imm=2)
+            k1.iadd(eaddr, eaddr, edge_ptr)
+            k1.gld(nbr, eaddr)
+            k1.shl(naddr, nbr, imm=2)
+            k1.iadd(uaddr, naddr, upd_ptr)
+            k1.iadd(naddr, naddr, cost_ptr)
+            k1.gld(ncost, naddr)
+            k1.isetp(pv, ncost, minus1, CmpOp.EQ)
+            k1.gst(naddr, new_cost, pred=pv)
+            k1.gst(uaddr, one, pred=pv)
+            k1.iadd(e, e, imm=1)
+        k1.exit()
+
+        # kernel 2: promote updated nodes into the frontier, set stop flag
+        k2 = KernelBuilder("bfs_kernel2", nregs=32)
+        g = global_tid_x(k2)
+        n = k2.load_param(0)
+        guard_exit_ge(k2, g, n)
+        mask_ptr = k2.load_param(1)
+        upd_ptr = k2.load_param(2)
+        flag_ptr = k2.load_param(3)
+        gofs = k2.reg()
+        k2.shl(gofs, g, imm=2)
+        uaddr = k2.reg()
+        k2.iadd(uaddr, upd_ptr, gofs)
+        uval = k2.reg()
+        k2.gld(uval, uaddr)
+        zero = k2.mov32i_new(0)
+        pu = k2.pred()
+        k2.isetp(pu, uval, zero, CmpOp.EQ)
+        with k2.if_(pu):
+            k2.exit()
+        maddr = k2.reg()
+        k2.iadd(maddr, mask_ptr, gofs)
+        one = k2.mov32i_new(1)
+        k2.gst(maddr, one)
+        k2.gst(uaddr, zero)
+        k2.gst(flag_ptr, one)
+        k2.exit()
+        return {"bfs_kernel": k1.build(), "bfs_kernel2": k2.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        p_off = device.alloc_array(self.offsets)
+        p_edge = device.alloc_array(self.edges)
+        cost = np.full(n, -1, dtype=np.int32)
+        cost[self.source] = 0
+        p_cost = device.alloc_array(cost.view(np.uint32))
+        mask = np.zeros(n, dtype=np.uint32)
+        mask[self.source] = 1
+        p_mask = device.alloc_array(mask)
+        p_upd = device.alloc_array(np.zeros(n, dtype=np.uint32))
+        p_flag = device.alloc(1)
+        progs = self.programs()
+        block = 64
+        grid = -(-n // block)
+        for _level in range(n):  # bounded by diameter <= n
+            device.write(p_flag, np.zeros(1, dtype=np.uint32))
+            launcher(progs["bfs_kernel"], grid, block,
+                     params=[n, p_off, p_edge, p_cost, p_mask, p_upd])
+            launcher(progs["bfs_kernel2"], grid, block,
+                     params=[n, p_mask, p_upd, p_flag])
+            if device.read(p_flag, 1)[0] == 0:
+                break
+        return self._bits(device.read(p_cost, n, np.int32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        cost = np.full(n, -1, dtype=np.int32)
+        cost[self.source] = 0
+        frontier = [self.source]
+        level = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for e in range(self.offsets[u], self.offsets[u + 1]):
+                    v = int(self.edges[e])
+                    if cost[v] == -1:
+                        cost[v] = level + 1
+                        nxt.append(v)
+            frontier = nxt
+            level += 1
+        return cost

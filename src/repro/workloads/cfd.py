@@ -1,0 +1,142 @@
+"""cfd — simplified unstructured-grid Euler solver (Rodinia euler3d style).
+
+Per iteration: a step-factor kernel (FSQRT/FRCP heavy, like Rodinia's
+``compute_step_factor``) and a flux-accumulation kernel gathering from
+random neighbour cells (the unstructured access pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import elem_addr, global_tid_x, guard_exit_ge
+
+NNB = 4  # neighbours per cell
+
+
+class CFD(Workload):
+    meta = WorkloadMeta("cfd", "FP32", "Unstructured Grid", "Rodinia")
+    scales = {
+        "tiny": {"n": 64, "iters": 1},
+        "small": {"n": 256, "iters": 2},
+        "paper": {"n": 2048, "iters": 4},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.density = self.rng.uniform(0.5, 2.0, size=n).astype(np.float32)
+        self.energy = self.rng.uniform(1.0, 3.0, size=n).astype(np.float32)
+        self.neighbors = self.rng.integers(0, n, size=(n, NNB)).astype(np.uint32)
+
+    def _build_programs(self):
+        # step factor: sf[i] = 0.5 / (sqrt(density) + 1/energy)
+        k1 = KernelBuilder("cfd_step_factor", nregs=32)
+        g = global_tid_x(k1)
+        n = k1.load_param(0)
+        guard_exit_ge(k1, g, n)
+        d_ptr = k1.load_param(1)
+        e_ptr = k1.load_param(2)
+        sf_ptr = k1.load_param(3)
+        d = k1.reg()
+        k1.gld(d, elem_addr(k1, d_ptr, g))
+        e = k1.reg()
+        k1.gld(e, elem_addr(k1, e_ptr, g))
+        sd = k1.reg()
+        k1.fsqrt(sd, d)
+        ie = k1.reg()
+        k1.frcp(ie, e)
+        s = k1.reg()
+        k1.fadd(s, sd, ie)
+        k1.frcp(s, s)
+        half = k1.movf_new(0.5)
+        k1.fmul(s, s, half)
+        k1.gst(elem_addr(k1, sf_ptr, g), s)
+        k1.exit()
+
+        # flux: d'[i] = d[i] + sf[i] * sum_nb (d[nb] - d[i]);
+        #       e'[i] analogous
+        k2 = KernelBuilder("cfd_flux", nregs=48)
+        g = global_tid_x(k2)
+        n = k2.load_param(0)
+        guard_exit_ge(k2, g, n)
+        d_ptr = k2.load_param(1)
+        e_ptr = k2.load_param(2)
+        sf_ptr = k2.load_param(3)
+        nb_ptr = k2.load_param(4)
+        do_ptr = k2.load_param(5)
+        eo_ptr = k2.load_param(6)
+        d = k2.reg()
+        k2.gld(d, elem_addr(k2, d_ptr, g))
+        e = k2.reg()
+        k2.gld(e, elem_addr(k2, e_ptr, g))
+        sf = k2.reg()
+        k2.gld(sf, elem_addr(k2, sf_ptr, g))
+        accd = k2.movf_new(0.0)
+        acce = k2.movf_new(0.0)
+        minus1 = k2.movf_new(-1.0)
+        nbbase = k2.reg()
+        k2.shl(nbbase, g, imm=2 + 2)  # g * NNB * 4 bytes
+        k2.iadd(nbbase, nbbase, nb_ptr)
+        nb, naddr, dn, en, t = k2.reg(), k2.reg(), k2.reg(), k2.reg(), k2.reg()
+        for slot in range(NNB):
+            k2.gld(nb, nbbase, offset=4 * slot)
+            k2.shl(naddr, nb, imm=2)
+            k2.iadd(naddr, naddr, d_ptr)
+            k2.gld(dn, naddr)
+            k2.shl(naddr, nb, imm=2)
+            k2.iadd(naddr, naddr, e_ptr)
+            k2.gld(en, naddr)
+            k2.fmul(t, d, minus1)
+            k2.fadd(t, dn, t)
+            k2.fadd(accd, accd, t)
+            k2.fmul(t, e, minus1)
+            k2.fadd(t, en, t)
+            k2.fadd(acce, acce, t)
+        k2.ffma(accd, accd, sf, d)
+        k2.ffma(acce, acce, sf, e)
+        k2.gst(elem_addr(k2, do_ptr, g), accd)
+        k2.gst(elem_addr(k2, eo_ptr, g), acce)
+        k2.exit()
+        return {"cfd_step_factor": k1.build(), "cfd_flux": k2.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pd = device.alloc_array(self.density)
+        pe = device.alloc_array(self.energy)
+        pnb = device.alloc_array(self.neighbors)
+        psf = device.alloc(n)
+        pd2 = device.alloc(n)
+        pe2 = device.alloc(n)
+        progs = self.programs()
+        block = 64
+        grid = -(-n // block)
+        src_d, src_e, dst_d, dst_e = pd, pe, pd2, pe2
+        for _ in range(self.params["iters"]):
+            launcher(progs["cfd_step_factor"], grid, block,
+                     params=[n, src_d, src_e, psf])
+            launcher(progs["cfd_flux"], grid, block,
+                     params=[n, src_d, src_e, psf, pnb, dst_d, dst_e])
+            src_d, dst_d = dst_d, src_d
+            src_e, dst_e = dst_e, src_e
+        out = np.concatenate([device.read(src_d, n, np.float32),
+                              device.read(src_e, n, np.float32)])
+        return self._bits(out)
+
+    def reference(self) -> np.ndarray:
+        d = self.density.copy()
+        e = self.energy.copy()
+        for _ in range(self.params["iters"]):
+            sf = (np.float32(1.0) / (np.sqrt(d, dtype=np.float32)
+                                     + (np.float32(1.0) / e))).astype(np.float32)
+            sf = (sf * np.float32(0.5)).astype(np.float32)
+            accd = np.zeros_like(d)
+            acce = np.zeros_like(e)
+            for slot in range(NNB):
+                nb = self.neighbors[:, slot]
+                accd = (accd + (d[nb] + d * np.float32(-1.0))).astype(np.float32)
+                acce = (acce + (e[nb] + e * np.float32(-1.0))).astype(np.float32)
+            d = (accd * sf + d).astype(np.float32)
+            e = (acce * sf + e).astype(np.float32)
+        return np.concatenate([d, e])

@@ -1,0 +1,279 @@
+"""CNN layer kernels shared by the LeNet and YOLO workloads.
+
+Layout conventions (all FP32, CHW order):
+
+* activations: ``[c, y, x]`` linearized as ``(c*H + y)*W + x``
+* conv weights: ``[f, c, ky, kx]`` linearized likewise
+* the conv kernel maps one thread per output pixel via a 3-D grid
+  ``(ceil(OW/bx), OH, F)`` so no integer division is needed in-kernel.
+
+Activations: 0 = linear, 1 = ReLU, 2 = leaky ReLU (max(x, 0.1x)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp, SpecialReg
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+ACT_LINEAR = 0
+ACT_RELU = 1
+ACT_LEAKY = 2
+
+
+def build_conv2d() -> "Program":
+    """Generic padded conv2d with fused bias + activation.
+
+    Params: 0 in_ptr, 1 w_ptr, 2 b_ptr, 3 out_ptr, 4 C, 5 H, 6 W,
+            7 K, 8 OH, 9 OW, 10 pad, 11 act
+    Grid: (ceil(OW/bx), OH, F), block (bx, 1, 1).
+    """
+    k = KernelBuilder("conv2d", nregs=64)
+    ox = k.reg()
+    k.imad(ox, k.s2r_ctaid_x(), k.s2r_ntid_x(), k.s2r_tid_x())
+    oy = k.s2r_new(SpecialReg.CTAID_Y)
+    f = k.s2r_new(SpecialReg.CTAID_Z)
+    in_ptr = k.load_param(0)
+    w_ptr = k.load_param(1)
+    b_ptr = k.load_param(2)
+    out_ptr = k.load_param(3)
+    C = k.load_param(4)
+    H = k.load_param(5)
+    W = k.load_param(6)
+    K = k.load_param(7)
+    OH = k.load_param(8)
+    OW = k.load_param(9)
+    pad = k.load_param(10)
+    act = k.load_param(11)
+    guard_exit_ge(k, ox, OW)
+
+    acc = k.movf_new(0.0)
+    # weight address walks [f,c,ky,kx] sequentially: start at f*C*K*K
+    kk = k.reg()
+    k.imul(kk, K, K)
+    w_addr = k.reg()
+    k.imul(w_addr, f, C)
+    k.imul(w_addr, w_addr, kk)
+    k.shl(w_addr, w_addr, imm=2)
+    k.iadd(w_addr, w_addr, w_ptr)
+
+    c, ky, kx = k.reg(), k.reg(), k.reg()
+    iy, ix, idx, iaddr, v, wv = (k.reg(), k.reg(), k.reg(),
+                                 k.reg(), k.reg(), k.reg())
+    p_ok, p_ok2 = k.pred(), k.pred()
+    with k.for_range(c, 0, C):
+        with k.for_range(ky, 0, K):
+            with k.for_range(kx, 0, K):
+                k.iadd(iy, oy, ky)
+                k.isub(iy, iy, pad)
+                k.iadd(ix, ox, kx)
+                k.isub(ix, ix, pad)
+                # v = in-bounds ? in[c, iy, ix] : 0
+                k.mov32i(v, 0)
+                # unsigned trick: 0 <= iy < H  <=>  (unsigned) iy < H via
+                # signed compare after checking >= 0
+                k.isetp(p_ok, iy, H, CmpOp.LT)
+                k.isetp(p_ok2, iy, imm=0, cmp=CmpOp.GE)
+                with k.if_(p_ok):
+                    with k.if_(p_ok2):
+                        k.isetp(p_ok, ix, W, CmpOp.LT)
+                        k.isetp(p_ok2, ix, imm=0, cmp=CmpOp.GE)
+                        with k.if_(p_ok):
+                            with k.if_(p_ok2):
+                                k.imad(idx, c, H, iy)
+                                k.imad(idx, idx, W, ix)
+                                k.shl(idx, idx, imm=2)
+                                k.iadd(iaddr, in_ptr, idx)
+                                k.gld(v, iaddr)
+                k.gld(wv, w_addr)
+                k.ffma(acc, v, wv, acc)
+                k.iadd(w_addr, w_addr, imm=4)
+
+    # bias + activation
+    baddr = k.reg()
+    k.shl(baddr, f, imm=2)
+    k.iadd(baddr, baddr, b_ptr)
+    bias = k.reg()
+    k.gld(bias, baddr)
+    k.fadd(acc, acc, bias)
+    _apply_activation(k, acc, act)
+
+    oidx = k.reg()
+    k.imad(oidx, f, OH, oy)
+    k.imad(oidx, oidx, OW, ox)
+    k.shl(oidx, oidx, imm=2)
+    oaddr = k.reg()
+    k.iadd(oaddr, out_ptr, oidx)
+    k.gst(oaddr, acc)
+    k.exit()
+    return k.build()
+
+
+def build_maxpool2() -> "Program":
+    """2x2 max pooling, stride 2.
+
+    Params: 0 in_ptr, 1 out_ptr, 2 W (input width), 3 OH, 4 OW.
+    Grid: (ceil(OW/bx), OH, C).
+    """
+    k = KernelBuilder("maxpool2", nregs=40)
+    ox = k.reg()
+    k.imad(ox, k.s2r_ctaid_x(), k.s2r_ntid_x(), k.s2r_tid_x())
+    oy = k.s2r_new(SpecialReg.CTAID_Y)
+    c = k.s2r_new(SpecialReg.CTAID_Z)
+    in_ptr = k.load_param(0)
+    out_ptr = k.load_param(1)
+    W = k.load_param(2)
+    OH = k.load_param(3)
+    OW = k.load_param(4)
+    guard_exit_ge(k, ox, OW)
+
+    H = k.reg()
+    k.shl(H, OH, imm=1)   # input height = 2*OH
+    iy = k.reg()
+    k.shl(iy, oy, imm=1)
+    ix = k.reg()
+    k.shl(ix, ox, imm=1)
+    base = k.reg()
+    k.imad(base, c, H, iy)
+    k.imad(base, base, W, ix)
+    k.shl(base, base, imm=2)
+    k.iadd(base, base, in_ptr)
+    w4 = k.reg()
+    k.shl(w4, W, imm=2)
+
+    a, b = k.reg(), k.reg()
+    k.gld(a, base)
+    k.gld(b, base, offset=4)
+    k.fmnmx(a, a, b, mode=CmpOp.MAX)
+    row2 = k.reg()
+    k.iadd(row2, base, w4)
+    k.gld(b, row2)
+    k.fmnmx(a, a, b, mode=CmpOp.MAX)
+    k.gld(b, row2, offset=4)
+    k.fmnmx(a, a, b, mode=CmpOp.MAX)
+
+    oidx = k.reg()
+    k.imad(oidx, c, OH, oy)
+    k.imad(oidx, oidx, OW, ox)
+    k.shl(oidx, oidx, imm=2)
+    oaddr = k.reg()
+    k.iadd(oaddr, out_ptr, oidx)
+    k.gst(oaddr, a)
+    k.exit()
+    return k.build()
+
+
+def build_dense() -> "Program":
+    """Fully connected layer: out[o] = act(b[o] + sum_i w[o*I+i]*in[i]).
+
+    Params: 0 in_ptr, 1 w_ptr, 2 b_ptr, 3 out_ptr, 4 I, 5 O, 6 act.
+    Grid: 1-D over O.
+    """
+    k = KernelBuilder("dense", nregs=40)
+    o = global_tid_x(k)
+    in_ptr = k.load_param(0)
+    w_ptr = k.load_param(1)
+    b_ptr = k.load_param(2)
+    out_ptr = k.load_param(3)
+    I = k.load_param(4)
+    O = k.load_param(5)
+    act = k.load_param(6)
+    guard_exit_ge(k, o, O)
+
+    acc = k.movf_new(0.0)
+    w_addr = k.reg()
+    k.imul(w_addr, o, I)
+    k.shl(w_addr, w_addr, imm=2)
+    k.iadd(w_addr, w_addr, w_ptr)
+    i_addr = k.reg()
+    k.mov(i_addr, in_ptr)
+    i = k.reg()
+    v, wv = k.reg(), k.reg()
+    with k.for_range(i, 0, I):
+        k.gld(v, i_addr)
+        k.gld(wv, w_addr)
+        k.ffma(acc, v, wv, acc)
+        k.iadd(i_addr, i_addr, imm=4)
+        k.iadd(w_addr, w_addr, imm=4)
+
+    baddr = k.reg()
+    k.shl(baddr, o, imm=2)
+    k.iadd(baddr, baddr, b_ptr)
+    bias = k.reg()
+    k.gld(bias, baddr)
+    k.fadd(acc, acc, bias)
+    _apply_activation(k, acc, act)
+    oaddr = k.reg()
+    k.shl(oaddr, o, imm=2)
+    k.iadd(oaddr, oaddr, out_ptr)
+    k.gst(oaddr, acc)
+    k.exit()
+    return k.build()
+
+
+def _apply_activation(k: KernelBuilder, acc: int, act_reg: int) -> None:
+    """In-place activation selected by the runtime `act` parameter."""
+    p_relu = k.pred()
+    k.isetp(p_relu, act_reg, imm=ACT_RELU, cmp=CmpOp.EQ)
+    with k.if_(p_relu):
+        zero = k.movf_new(0.0)
+        k.fmnmx(acc, acc, zero, mode=CmpOp.MAX)
+    p_leaky = k.pred()
+    k.isetp(p_leaky, act_reg, imm=ACT_LEAKY, cmp=CmpOp.EQ)
+    with k.if_(p_leaky):
+        t = k.reg()
+        tenth = k.movf_new(0.1)
+        k.fmul(t, acc, tenth)
+        k.fmnmx(acc, acc, t, mode=CmpOp.MAX)
+
+
+# ---------------------------------------------------------------------
+# host-side float32 references (bit-matching the kernels)
+# ---------------------------------------------------------------------
+
+def ref_conv2d(x: np.ndarray, w: np.ndarray, b: np.ndarray,
+               pad: int, act: int) -> np.ndarray:
+    """Reference conv matching the kernel's accumulation order (c, ky, kx)."""
+    C, H, W = x.shape
+    F, _, K, _ = w.shape
+    OH, OW = H + 2 * pad - K + 1, W + 2 * pad - K + 1
+    xp = np.zeros((C, H + 2 * pad, W + 2 * pad), dtype=np.float32)
+    xp[:, pad:pad + H, pad:pad + W] = x
+    out = np.zeros((F, OH, OW), dtype=np.float32)
+    for f in range(F):
+        acc = np.zeros((OH, OW), dtype=np.float32)
+        for c in range(C):
+            for ky in range(K):
+                for kx in range(K):
+                    patch = xp[c, ky:ky + OH, kx:kx + OW]
+                    acc = (patch * w[f, c, ky, kx] + acc).astype(np.float32)
+        out[f] = acc + b[f]
+    return _ref_act(out, act)
+
+
+def ref_maxpool2(x: np.ndarray) -> np.ndarray:
+    C, H, W = x.shape
+    a = np.maximum(x[:, 0::2, 0::2], x[:, 0::2, 1::2])
+    a = np.maximum(a, x[:, 1::2, 0::2])
+    return np.maximum(a, x[:, 1::2, 1::2])
+
+
+def ref_dense(x: np.ndarray, w: np.ndarray, b: np.ndarray, act: int) -> np.ndarray:
+    O, I = w.shape
+    out = np.zeros(O, dtype=np.float32)
+    for o in range(O):
+        acc = np.float32(0.0)
+        for i in range(I):
+            acc = np.float32(x[i] * w[o, i] + acc)
+        out[o] = acc + b[o]
+    return _ref_act(out, act)
+
+
+def _ref_act(x: np.ndarray, act: int) -> np.ndarray:
+    if act == ACT_RELU:
+        return np.maximum(x, np.float32(0.0))
+    if act == ACT_LEAKY:
+        return np.maximum(x, (x * np.float32(0.1)).astype(np.float32))
+    return x

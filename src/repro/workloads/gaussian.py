@@ -1,0 +1,156 @@
+"""gaussian — Gaussian elimination (Rodinia): Fan1/Fan2 kernel pairs.
+
+The host loops over pivots, launching two kernels per step exactly like the
+Rodinia original — a many-small-kernels profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp, SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+
+class Gaussian(Workload):
+    meta = WorkloadMeta("gaussian", "FP32", "Linear algebra", "Rodinia")
+    scales = {
+        "tiny": {"n": 8},
+        "small": {"n": 16},
+        "paper": {"n": 48},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        a = self.rng.normal(size=(n, n)).astype(np.float32)
+        # diagonally dominant => elimination without pivoting is stable
+        a += np.eye(n, dtype=np.float32) * np.float32(n)
+        self.a = a
+        self.b = self.rng.normal(size=n).astype(np.float32)
+
+    def _build_programs(self):
+        # Fan1: m[i] = A[i,k] / A[k,k]  for i in (k, n)
+        f1 = KernelBuilder("gaussian_fan1", nregs=32)
+        g = global_tid_x(f1)
+        n = f1.load_param(0)
+        a_ptr = f1.load_param(1)
+        m_ptr = f1.load_param(2)
+        kpiv = f1.load_param(3)
+        i = f1.reg()
+        f1.iadd(i, g, kpiv)
+        f1.iadd(i, i, imm=1)
+        guard_exit_ge(f1, i, n)
+        idx = f1.reg()
+        f1.imad(idx, i, n, kpiv)       # A[i,k]
+        f1.shl(idx, idx, imm=2)
+        f1.iadd(idx, idx, a_ptr)
+        aik = f1.reg()
+        f1.gld(aik, idx)
+        f1.imad(idx, kpiv, n, kpiv)    # A[k,k]
+        f1.shl(idx, idx, imm=2)
+        f1.iadd(idx, idx, a_ptr)
+        akk = f1.reg()
+        f1.gld(akk, idx)
+        inv = f1.reg()
+        f1.frcp(inv, akk)
+        mi = f1.reg()
+        f1.fmul(mi, aik, inv)
+        maddr = f1.reg()
+        f1.shl(maddr, i, imm=2)
+        f1.iadd(maddr, maddr, m_ptr)
+        f1.gst(maddr, mi)
+        f1.exit()
+
+        # Fan2: A[i,j] -= m[i]*A[k,j] for i in (k, n), j in [k, n);
+        #       B[i]  -= m[i]*B[k] when j == k
+        f2 = KernelBuilder("gaussian_fan2", nregs=40)
+        tx = f2.s2r_tid_x()
+        ty = f2.s2r_new(SpecialReg.TID_Y)
+        cx = f2.s2r_ctaid_x()
+        cy = f2.s2r_new(SpecialReg.CTAID_Y)
+        gx = f2.reg()
+        f2.imad(gx, cx, f2.s2r_ntid_x(), tx)
+        gy = f2.reg()
+        f2.imad(gy, cy, f2.s2r_new(SpecialReg.NTID_Y), ty)
+        n = f2.load_param(0)
+        a_ptr = f2.load_param(1)
+        b_ptr = f2.load_param(2)
+        m_ptr = f2.load_param(3)
+        kpiv = f2.load_param(4)
+        i = f2.reg()
+        f2.iadd(i, gy, kpiv)
+        f2.iadd(i, i, imm=1)
+        j = f2.reg()
+        f2.iadd(j, gx, kpiv)
+        guard_exit_ge(f2, i, n)
+        guard_exit_ge(f2, j, n)
+        maddr = f2.reg()
+        f2.shl(maddr, i, imm=2)
+        f2.iadd(maddr, maddr, m_ptr)
+        mi = f2.reg()
+        f2.gld(mi, maddr)
+        nm = f2.reg()
+        f2.fmul(nm, mi, f2.movf_new(-1.0))
+        idx = f2.reg()
+        f2.imad(idx, kpiv, n, j)       # A[k,j]
+        f2.shl(idx, idx, imm=2)
+        f2.iadd(idx, idx, a_ptr)
+        akj = f2.reg()
+        f2.gld(akj, idx)
+        f2.imad(idx, i, n, j)          # A[i,j]
+        f2.shl(idx, idx, imm=2)
+        f2.iadd(idx, idx, a_ptr)
+        aij = f2.reg()
+        f2.gld(aij, idx)
+        f2.ffma(aij, nm, akj, aij)
+        f2.gst(idx, aij)
+        # B update by the j == k column threads
+        pj = f2.pred()
+        f2.isetp(pj, j, kpiv, CmpOp.EQ)
+        with f2.if_(pj):
+            bk_addr = f2.reg()
+            f2.shl(bk_addr, kpiv, imm=2)
+            f2.iadd(bk_addr, bk_addr, b_ptr)
+            bk = f2.reg()
+            f2.gld(bk, bk_addr)
+            bi_addr = f2.reg()
+            f2.shl(bi_addr, i, imm=2)
+            f2.iadd(bi_addr, bi_addr, b_ptr)
+            bi = f2.reg()
+            f2.gld(bi, bi_addr)
+            f2.ffma(bi, nm, bk, bi)
+            f2.gst(bi_addr, bi)
+        f2.exit()
+        return {"gaussian_fan1": f1.build(), "gaussian_fan2": f2.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.a)
+        pb = device.alloc_array(self.b)
+        pm = device.alloc(n)
+        progs = self.programs()
+        t = min(8, n)
+        for kpiv in range(n - 1):
+            launcher(progs["gaussian_fan1"], grid=-(-n // 32), block=32,
+                     params=[n, pa, pm, kpiv])
+            launcher(progs["gaussian_fan2"], grid=(n // t, n // t), block=(t, t),
+                     params=[n, pa, pb, pm, kpiv])
+        out_a = device.read(pa, n * n, np.float32)
+        out_b = device.read(pb, n, np.float32)
+        return self._bits(np.concatenate([out_a, out_b]))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        a = self.a.copy()
+        b = self.b.copy()
+        for kpiv in range(n - 1):
+            inv = (np.float32(1.0) / a[kpiv, kpiv]).astype(np.float32)
+            m = (a[kpiv + 1:, kpiv] * inv).astype(np.float32)
+            nm = (m * np.float32(-1.0)).astype(np.float32)
+            a[kpiv + 1:, kpiv:] = (
+                nm[:, None] * a[kpiv, kpiv:][None, :] + a[kpiv + 1:, kpiv:]
+            ).astype(np.float32)
+            b[kpiv + 1:] = (nm * b[kpiv] + b[kpiv + 1:]).astype(np.float32)
+        return np.concatenate([a.ravel(), b])

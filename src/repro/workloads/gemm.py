@@ -1,0 +1,131 @@
+"""gemm — tiled FP32 GEMM (C = alpha*A@B + beta*C) with shared-memory tiles.
+
+This is the shared-memory workload par excellence: the IMS/IMD error models
+(incorrect memory source/destination) are only activatable on kernels like
+this one, which the paper uses to explain the strongly code-dependent EPR
+of the Resource Management error group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+
+TILE = 8
+
+
+class TiledGemm(Workload):
+    meta = WorkloadMeta("gemm", "FP32", "Linear algebra", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 8, "alpha": 1.0, "beta": 0.0},
+        "small": {"n": 16, "alpha": 1.5, "beta": 0.5},
+        "paper": {"n": 64, "alpha": 1.5, "beta": 0.5},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.a = self.rng.normal(size=(n, n)).astype(np.float32)
+        self.b = self.rng.normal(size=(n, n)).astype(np.float32)
+        self.c = self.rng.normal(size=(n, n)).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("gemm", nregs=48, shared_words=2 * TILE * TILE)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        col = k.reg()
+        k.imad(col, cx, k.mov32i_new(TILE), tx)
+        row = k.reg()
+        k.imad(row, cy, k.mov32i_new(TILE), ty)
+        n = k.load_param(0)
+        a_ptr = k.load_param(1)
+        b_ptr = k.load_param(2)
+        c_ptr = k.load_param(3)
+        alpha = k.load_param(4)
+        beta = k.load_param(5)
+
+        ntiles = k.reg()
+        k.shr(ntiles, n, imm=3)  # n / TILE
+        n4 = k.reg()
+        k.shl(n4, n, imm=2)  # row stride in bytes
+
+        # shared tile slots: As at byte 0, Bs at byte TILE*TILE*4
+        s_a = k.reg()   # &As[ty][tx]
+        t8 = k.mov32i_new(TILE)
+        sidx = k.reg()
+        k.imad(sidx, ty, t8, tx)
+        k.shl(s_a, sidx, imm=2)
+        s_b = k.reg()
+        k.iadd(s_b, s_a, imm=TILE * TILE * 4)
+
+        acc = k.movf_new(0.0)
+        m = k.reg()
+        ga, gb, va, vb = k.reg(), k.reg(), k.reg(), k.reg()
+        tmp, kk_addr_a, kk_addr_b = k.reg(), k.reg(), k.reg()
+        kk = k.reg()
+        with k.for_range(m, 0, ntiles):
+            # global address of A[row][m*TILE + tx]
+            k.imul(tmp, m, t8)
+            k.iadd(tmp, tmp, tx)       # m*TILE+tx
+            k.imad(ga, row, n, tmp)    # row*n + ...
+            k.shl(ga, ga, imm=2)
+            k.iadd(ga, ga, a_ptr)
+            k.gld(va, ga)
+            k.sts(s_a, va)
+            # global address of B[m*TILE + ty][col]
+            k.imul(tmp, m, t8)
+            k.iadd(tmp, tmp, ty)
+            k.imad(gb, tmp, n, col)
+            k.shl(gb, gb, imm=2)
+            k.iadd(gb, gb, b_ptr)
+            k.gld(vb, gb)
+            k.sts(s_b, vb)
+            k.bar()
+            with k.for_range(kk, 0, t8):
+                # As[ty][kk]
+                k.imad(tmp, ty, t8, kk)
+                k.shl(kk_addr_a, tmp, imm=2)
+                k.lds(va, kk_addr_a)
+                # Bs[kk][tx]
+                k.imad(tmp, kk, t8, tx)
+                k.shl(kk_addr_b, tmp, imm=2)
+                k.lds(vb, kk_addr_b, offset=TILE * TILE * 4)
+                k.ffma(acc, va, vb, acc)
+            k.bar()
+
+        out = k.reg()
+        k.imad(out, row, n, col)
+        k.shl(out, out, imm=2)
+        k.iadd(out, out, c_ptr)
+        old = k.reg()
+        k.gld(old, out)
+        res = k.reg()
+        k.fmul(res, acc, alpha)
+        k.ffma(res, old, beta, res)
+        k.gst(out, res)
+        k.exit()
+        return {"gemm": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.a)
+        pb = device.alloc_array(self.b)
+        pc = device.alloc_array(self.c)
+        g = n // TILE
+        launcher(self.program(), grid=(g, g), block=(TILE, TILE),
+                 params=[n, pa, pb, pc,
+                         float(self.params["alpha"]), float(self.params["beta"])])
+        return self._bits(device.read(pc, n * n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        acc = np.zeros((n, n), dtype=np.float32)
+        for kk in range(n):
+            acc += np.float32(self.a[:, kk:kk + 1]) * self.b[kk:kk + 1, :]
+        alpha = np.float32(self.params["alpha"])
+        beta = np.float32(self.params["beta"])
+        return acc * alpha + self.c * beta

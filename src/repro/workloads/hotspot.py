@@ -1,0 +1,118 @@
+"""hotspot — 2D thermal stencil iteration (Rodinia, structured grid)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp, SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+
+
+class Hotspot(Workload):
+    meta = WorkloadMeta("hotspot", "FP32", "Structured Grid", "Rodinia")
+    scales = {
+        "tiny": {"n": 8, "iters": 2, "kappa": 0.1},
+        "small": {"n": 16, "iters": 4, "kappa": 0.1},
+        "paper": {"n": 64, "iters": 8, "kappa": 0.1},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.temp = (300.0 + self.rng.uniform(0, 10, size=(n, n))).astype(np.float32)
+        self.power = self.rng.uniform(0, 1, size=(n, n)).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("hotspot_step", nregs=48)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        col = k.reg()
+        k.imad(col, cx, k.s2r_ntid_x(), tx)
+        row = k.reg()
+        k.imad(row, cy, k.s2r_new(SpecialReg.NTID_Y), ty)
+        n = k.load_param(0)
+        t_in = k.load_param(1)
+        p_ptr = k.load_param(2)
+        t_out = k.load_param(3)
+        kappa = k.load_param(4)
+
+        nm1 = k.reg()
+        k.iadd(nm1, n, imm=-1 & 0xFFFFFFFF)
+        zero = k.mov32i_new(0)
+        rr, cc, idx, a = k.reg(), k.reg(), k.reg(), k.reg()
+
+        def clamped_load(dst, r, c):
+            """dst = T[clamp(r), clamp(c)] with boundary clamping."""
+            k.imnmx(rr, r, nm1, mode=CmpOp.MIN)
+            k.imnmx(rr, rr, zero, mode=CmpOp.MAX)
+            k.imnmx(cc, c, nm1, mode=CmpOp.MIN)
+            k.imnmx(cc, cc, zero, mode=CmpOp.MAX)
+            k.imad(idx, rr, n, cc)
+            k.shl(idx, idx, imm=2)
+            k.iadd(a, t_in, idx)
+            k.gld(dst, a)
+
+        center = k.reg()
+        north, south, east, west = k.reg(), k.reg(), k.reg(), k.reg()
+        rm1, rp1, cm1, cp1 = k.reg(), k.reg(), k.reg(), k.reg()
+        k.iadd(rm1, row, imm=-1 & 0xFFFFFFFF)
+        k.iadd(rp1, row, imm=1)
+        k.iadd(cm1, col, imm=-1 & 0xFFFFFFFF)
+        k.iadd(cp1, col, imm=1)
+        clamped_load(center, row, col)
+        clamped_load(north, rm1, col)
+        clamped_load(south, rp1, col)
+        clamped_load(west, row, cm1)
+        clamped_load(east, row, cp1)
+
+        # delta = kappa * (N + S + E + W - 4*C) + power
+        s = k.reg()
+        k.fadd(s, north, south)
+        k.fadd(s, s, east)
+        k.fadd(s, s, west)
+        minus4 = k.movf_new(-4.0)
+        k.ffma(s, center, minus4, s)
+        idx = k.reg()
+        k.imad(idx, row, n, col)
+        k.shl(idx, idx, imm=2)
+        paddr = k.reg()
+        k.iadd(paddr, p_ptr, idx)
+        pw = k.reg()
+        k.gld(pw, paddr)
+        newt = k.reg()
+        k.fmul(newt, s, kappa)
+        k.fadd(newt, newt, pw)
+        k.fadd(newt, newt, center)
+        oaddr = k.reg()
+        k.iadd(oaddr, t_out, idx)
+        k.gst(oaddr, newt)
+        k.exit()
+        return {"hotspot_step": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        t0 = device.alloc_array(self.temp)
+        t1 = device.alloc(n * n)
+        pp = device.alloc_array(self.power)
+        t = min(8, n)
+        grid = (n // t, n // t)
+        src, dst = t0, t1
+        for _ in range(self.params["iters"]):
+            launcher(self.program(), grid=grid, block=(t, t),
+                     params=[n, src, pp, dst, float(self.params["kappa"])])
+            src, dst = dst, src
+        return self._bits(device.read(src, n * n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        kappa = np.float32(self.params["kappa"])
+        t = self.temp.copy()
+        for _ in range(self.params["iters"]):
+            pad = np.pad(t, 1, mode="edge")
+            s = (pad[:-2, 1:-1] + pad[2:, 1:-1] + pad[1:-1, 2:]
+                 + pad[1:-1, :-2]).astype(np.float32)
+            s = (s + t * np.float32(-4.0)).astype(np.float32)
+            t = (s * kappa + self.power + t).astype(np.float32)
+        return t

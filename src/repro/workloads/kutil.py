@@ -1,0 +1,60 @@
+"""Kernel-building idioms shared by the workloads.
+
+These helpers emit the standard SASS prologue patterns (global thread id,
+bounds guard, element addressing) so each workload reads like its CUDA
+original.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp
+
+
+def global_tid_x(k: KernelBuilder) -> int:
+    """tid.x + ctaid.x * ntid.x into a fresh register."""
+    tid = k.s2r_tid_x()
+    cta = k.s2r_ctaid_x()
+    ntid = k.s2r_ntid_x()
+    g = k.reg()
+    k.imad(g, cta, ntid, tid)
+    return g
+
+
+def guard_exit_ge(k: KernelBuilder, idx: int, bound: int) -> None:
+    """EXIT threads with ``idx >= bound`` (the canonical CUDA guard)."""
+    p = k.pred()
+    k.isetp(p, idx, bound, CmpOp.GE)
+    with k.if_(p):
+        k.exit()
+
+
+def elem_addr(k: KernelBuilder, base: int, idx: int, dst: int | None = None) -> int:
+    """Byte address of 32-bit element *idx* of the array at *base*."""
+    d = dst if dst is not None else k.reg()
+    off = k.reg()
+    k.shl(off, idx, imm=2)
+    k.iadd(d, base, off)
+    return d
+
+
+def load_elem(k: KernelBuilder, base: int, idx: int) -> int:
+    """Load element *idx* of the global array at *base*."""
+    addr = elem_addr(k, base, idx)
+    v = k.reg()
+    k.gld(v, addr)
+    return v
+
+
+def store_elem(k: KernelBuilder, base: int, idx: int, value: int) -> None:
+    """Store *value* to element *idx* of the global array at *base*."""
+    addr = elem_addr(k, base, idx)
+    k.gst(addr, value)
+
+
+def linear_2d(k: KernelBuilder, row: int, col: int, width_imm: int) -> int:
+    """row * width + col into a fresh register (immediate width)."""
+    w = k.mov32i_new(width_imm)
+    d = k.reg()
+    k.imad(d, row, w, col)
+    return d

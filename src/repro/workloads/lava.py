@@ -1,0 +1,117 @@
+"""lava — N-body particle interaction kernel (Rodinia lavaMD style).
+
+Each thread owns one particle and accumulates the force contribution of
+every other particle through an exponential potential — the FEXP/FSQRT-heavy
+compute-intensive profile the paper calls out ("compute-intensive codes
+like lava present an EPR close to 100%").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+
+class Lava(Workload):
+    meta = WorkloadMeta("lava", "FP32", "N-body", "Rodinia")
+    scales = {
+        "tiny": {"n": 32, "alpha": 0.5},
+        "small": {"n": 96, "alpha": 0.5},
+        "paper": {"n": 512, "alpha": 0.5},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.pos = self.rng.uniform(-1.0, 1.0, size=(n, 3)).astype(np.float32)
+        self.charge = self.rng.uniform(0.1, 1.0, size=n).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("lava", nregs=48)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        guard_exit_ge(k, g, n)
+        x_ptr = k.load_param(1)
+        y_ptr = k.load_param(2)
+        z_ptr = k.load_param(3)
+        q_ptr = k.load_param(4)
+        f_ptr = k.load_param(5)
+        alpha = k.load_param(6)
+
+        off = k.reg()
+        k.shl(off, g, imm=2)
+        xi, yi, zi = k.reg(), k.reg(), k.reg()
+        addr = k.reg()
+        k.iadd(addr, x_ptr, off)
+        k.gld(xi, addr)
+        k.iadd(addr, y_ptr, off)
+        k.gld(yi, addr)
+        k.iadd(addr, z_ptr, off)
+        k.gld(zi, addr)
+
+        fx = k.movf_new(0.0)
+        fy = k.movf_new(0.0)
+        fz = k.movf_new(0.0)
+
+        j = k.reg()
+        joff = k.reg()
+        xj, yj, zj, qj = k.reg(), k.reg(), k.reg(), k.reg()
+        dx, dy, dz, r2, w = k.reg(), k.reg(), k.reg(), k.reg(), k.reg()
+        nalpha = k.reg()
+        minus1 = k.movf_new(-1.0)
+        k.fmul(nalpha, alpha, minus1)
+        with k.for_range(j, 0, n):
+            k.shl(joff, j, imm=2)
+            k.iadd(addr, x_ptr, joff)
+            k.gld(xj, addr)
+            k.iadd(addr, y_ptr, joff)
+            k.gld(yj, addr)
+            k.iadd(addr, z_ptr, joff)
+            k.gld(zj, addr)
+            k.iadd(addr, q_ptr, joff)
+            k.gld(qj, addr)
+            # dx = xj - xi (no FSUB in the ISA: negate-and-add)
+            k.fmul(dx, xi, minus1)
+            k.fadd(dx, xj, dx)
+            k.fmul(dy, yi, minus1)
+            k.fadd(dy, yj, dy)
+            k.fmul(dz, zi, minus1)
+            k.fadd(dz, zj, dz)
+            k.fmul(r2, dx, dx)
+            k.ffma(r2, dy, dy, r2)
+            k.ffma(r2, dz, dz, r2)
+            soft = 0x3DCCCCCD  # 0.1f
+            k.fadd(r2, r2, imm=soft)
+            # w = q_j * exp(-alpha * r2)
+            k.fmul(w, r2, nalpha)
+            k.fexp(w, w)
+            k.fmul(w, w, qj)
+            k.ffma(fx, dx, w, fx)
+            k.ffma(fy, dy, w, fy)
+            k.ffma(fz, dz, w, fz)
+
+        # store fx, fy, fz into f[3n] layout [fx... fy... fz...]
+        n4 = k.reg()
+        k.shl(n4, n, imm=2)
+        k.iadd(addr, f_ptr, off)
+        k.gst(addr, fx)
+        k.iadd(addr, addr, n4)
+        k.gst(addr, fy)
+        k.iadd(addr, addr, n4)
+        k.gst(addr, fz)
+        k.exit()
+        return {"lava": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        px = device.alloc_array(self.pos[:, 0].copy())
+        py = device.alloc_array(self.pos[:, 1].copy())
+        pz = device.alloc_array(self.pos[:, 2].copy())
+        pq = device.alloc_array(self.charge)
+        pf = device.alloc(3 * n)
+        block = 32
+        launcher(self.program(), grid=-(-n // block), block=block,
+                 params=[n, px, py, pz, pq, pf, float(self.params["alpha"])])
+        return self._bits(device.read(pf, 3 * n, np.float32))

@@ -1,0 +1,97 @@
+"""lenet — LeNet-style CNN inference (Darknet suite in the paper).
+
+A complete (small) convolutional network running real inference on the
+simulated GPU: conv → ReLU → maxpool → conv → ReLU → dense. Weights are
+seeded-random; the output is the logit vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.cnn_ops import (
+    ACT_LINEAR,
+    ACT_RELU,
+    build_conv2d,
+    build_dense,
+    build_maxpool2,
+    ref_conv2d,
+    ref_dense,
+    ref_maxpool2,
+)
+
+
+class LeNet(Workload):
+    meta = WorkloadMeta("lenet", "FP32", "Deep Learning", "Darknet")
+    scales = {
+        "tiny": {"hw": 8, "f1": 2, "f2": 4, "classes": 4},
+        "small": {"hw": 12, "f1": 3, "f2": 6, "classes": 10},
+        "paper": {"hw": 28, "f1": 6, "f2": 16, "classes": 10},
+    }
+
+    def _init_data(self) -> None:
+        p = self.params
+        hw, f1, f2 = p["hw"], p["f1"], p["f2"]
+        self.input = self.rng.uniform(0, 1, size=(1, hw, hw)).astype(np.float32)
+        self.w1 = (self.rng.normal(size=(f1, 1, 3, 3)) * 0.5).astype(np.float32)
+        self.b1 = (self.rng.normal(size=f1) * 0.1).astype(np.float32)
+        c1 = hw - 2            # conv1 output size (valid, K=3)
+        p1 = c1 // 2           # after pool
+        self.w2 = (self.rng.normal(size=(f2, f1, 3, 3)) * 0.5).astype(np.float32)
+        self.b2 = (self.rng.normal(size=f2) * 0.1).astype(np.float32)
+        c2 = p1 - 2            # conv2 output size
+        self.flat = f2 * c2 * c2
+        self.wd = (self.rng.normal(size=(p["classes"], self.flat)) * 0.3).astype(
+            np.float32
+        )
+        self.bd = (self.rng.normal(size=p["classes"]) * 0.1).astype(np.float32)
+        self.dims = {"c1": c1, "p1": p1, "c2": c2}
+
+    def _build_programs(self):
+        return {
+            "conv2d": build_conv2d(),
+            "maxpool2": build_maxpool2(),
+            "dense": build_dense(),
+        }
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        p = self.params
+        d = self.dims
+        hw, f1, f2 = p["hw"], p["f1"], p["f2"]
+        progs = self.programs()
+
+        p_in = device.alloc_array(self.input)
+        p_w1 = device.alloc_array(self.w1)
+        p_b1 = device.alloc_array(self.b1)
+        p_c1 = device.alloc(f1 * d["c1"] * d["c1"])
+        p_p1 = device.alloc(f1 * d["p1"] * d["p1"])
+        p_w2 = device.alloc_array(self.w2)
+        p_b2 = device.alloc_array(self.b2)
+        p_c2 = device.alloc(f2 * d["c2"] * d["c2"])
+        p_wd = device.alloc_array(self.wd)
+        p_bd = device.alloc_array(self.bd)
+        p_out = device.alloc(p["classes"])
+
+        bx = 32
+        launcher(progs["conv2d"], grid=(-(-d["c1"] // bx), d["c1"], f1),
+                 block=bx,
+                 params=[p_in, p_w1, p_b1, p_c1, 1, hw, hw, 3,
+                         d["c1"], d["c1"], 0, ACT_RELU])
+        launcher(progs["maxpool2"], grid=(-(-d["p1"] // bx), d["p1"], f1),
+                 block=bx,
+                 params=[p_c1, p_p1, d["c1"], d["p1"], d["p1"]])
+        launcher(progs["conv2d"], grid=(-(-d["c2"] // bx), d["c2"], f2),
+                 block=bx,
+                 params=[p_p1, p_w2, p_b2, p_c2, f1, d["p1"], d["p1"], 3,
+                         d["c2"], d["c2"], 0, ACT_RELU])
+        launcher(progs["dense"], grid=1, block=max(p["classes"], 1),
+                 params=[p_c2, p_wd, p_bd, p_out, self.flat,
+                         p["classes"], ACT_LINEAR])
+        return self._bits(device.read(p_out, p["classes"], np.float32))
+
+    def reference(self) -> np.ndarray:
+        c1 = ref_conv2d(self.input, self.w1, self.b1, pad=0, act=ACT_RELU)
+        p1 = ref_maxpool2(c1)
+        c2 = ref_conv2d(p1, self.w2, self.b2, pad=0, act=ACT_RELU)
+        return ref_dense(c2.ravel(), self.wd, self.bd, ACT_LINEAR)

@@ -1,0 +1,121 @@
+"""lud — in-place LU decomposition (Rodinia), host loop over pivots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+
+class LUD(Workload):
+    meta = WorkloadMeta("lud", "FP32", "Linear algebra", "Rodinia")
+    scales = {
+        "tiny": {"n": 8},
+        "small": {"n": 16},
+        "paper": {"n": 48},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        a = self.rng.normal(size=(n, n)).astype(np.float32)
+        a += np.eye(n, dtype=np.float32) * np.float32(2 * n)
+        self.a = a
+
+    def _build_programs(self):
+        # scale: A[i,k] = A[i,k] / A[k,k] for i > k
+        ks = KernelBuilder("lud_scale", nregs=32)
+        g = global_tid_x(ks)
+        n = ks.load_param(0)
+        a_ptr = ks.load_param(1)
+        kpiv = ks.load_param(2)
+        i = ks.reg()
+        ks.iadd(i, g, kpiv)
+        ks.iadd(i, i, imm=1)
+        guard_exit_ge(ks, i, n)
+        idx = ks.reg()
+        ks.imad(idx, kpiv, n, kpiv)
+        ks.shl(idx, idx, imm=2)
+        ks.iadd(idx, idx, a_ptr)
+        akk = ks.reg()
+        ks.gld(akk, idx)
+        inv = ks.reg()
+        ks.frcp(inv, akk)
+        ks.imad(idx, i, n, kpiv)
+        ks.shl(idx, idx, imm=2)
+        ks.iadd(idx, idx, a_ptr)
+        aik = ks.reg()
+        ks.gld(aik, idx)
+        ks.fmul(aik, aik, inv)
+        ks.gst(idx, aik)
+        ks.exit()
+
+        # update: A[i,j] -= A[i,k]*A[k,j] for i,j > k
+        ku = KernelBuilder("lud_update", nregs=40)
+        tx = ku.s2r_tid_x()
+        ty = ku.s2r_new(SpecialReg.TID_Y)
+        cx = ku.s2r_ctaid_x()
+        cy = ku.s2r_new(SpecialReg.CTAID_Y)
+        gx = ku.reg()
+        ku.imad(gx, cx, ku.s2r_ntid_x(), tx)
+        gy = ku.reg()
+        ku.imad(gy, cy, ku.s2r_new(SpecialReg.NTID_Y), ty)
+        n = ku.load_param(0)
+        a_ptr = ku.load_param(1)
+        kpiv = ku.load_param(2)
+        i = ku.reg()
+        ku.iadd(i, gy, kpiv)
+        ku.iadd(i, i, imm=1)
+        j = ku.reg()
+        ku.iadd(j, gx, kpiv)
+        ku.iadd(j, j, imm=1)
+        guard_exit_ge(ku, i, n)
+        guard_exit_ge(ku, j, n)
+        idx = ku.reg()
+        ku.imad(idx, i, n, kpiv)
+        ku.shl(idx, idx, imm=2)
+        ku.iadd(idx, idx, a_ptr)
+        aik = ku.reg()
+        ku.gld(aik, idx)
+        ku.imad(idx, kpiv, n, j)
+        ku.shl(idx, idx, imm=2)
+        ku.iadd(idx, idx, a_ptr)
+        akj = ku.reg()
+        ku.gld(akj, idx)
+        nm = ku.reg()
+        ku.fmul(nm, aik, ku.movf_new(-1.0))
+        ku.imad(idx, i, n, j)
+        ku.shl(idx, idx, imm=2)
+        ku.iadd(idx, idx, a_ptr)
+        aij = ku.reg()
+        ku.gld(aij, idx)
+        ku.ffma(aij, nm, akj, aij)
+        ku.gst(idx, aij)
+        ku.exit()
+        return {"lud_scale": ks.build(), "lud_update": ku.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.a)
+        progs = self.programs()
+        t = min(8, n)
+        for kpiv in range(n - 1):
+            launcher(progs["lud_scale"], grid=-(-n // 32), block=32,
+                     params=[n, pa, kpiv])
+            launcher(progs["lud_update"], grid=(n // t, n // t), block=(t, t),
+                     params=[n, pa, kpiv])
+        return self._bits(device.read(pa, n * n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        a = self.a.copy()
+        for kpiv in range(n - 1):
+            inv = (np.float32(1.0) / a[kpiv, kpiv]).astype(np.float32)
+            a[kpiv + 1:, kpiv] = (a[kpiv + 1:, kpiv] * inv).astype(np.float32)
+            nm = (a[kpiv + 1:, kpiv] * np.float32(-1.0)).astype(np.float32)
+            a[kpiv + 1:, kpiv + 1:] = (
+                nm[:, None] * a[kpiv, kpiv + 1:][None, :] + a[kpiv + 1:, kpiv + 1:]
+            ).astype(np.float32)
+        return a.ravel()

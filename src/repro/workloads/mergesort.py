@@ -1,0 +1,131 @@
+"""mergesort — bottom-up GPU merge sort (CUDA SDK style, INT32).
+
+Each pass merges pairs of sorted runs; one thread produces one output
+element via a merge-path binary search. ``log2(n)`` kernel launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+INT_INF = 0x7FFFFFFF
+
+
+class MergeSort(Workload):
+    meta = WorkloadMeta("mergesort", "INT32", "Sorting", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 32},
+        "small": {"n": 256},
+        "paper": {"n": 4096},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        assert n & (n - 1) == 0, "n must be a power of two"
+        self.data = self.rng.integers(-1000, 1000, size=n).astype(np.int32)
+
+    def _build_programs(self):
+        k = KernelBuilder("merge_pass", nregs=48)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        src = k.load_param(1)
+        dst = k.load_param(2)
+        width = k.load_param(3)
+        shift = k.load_param(4)  # log2(2*width)
+        guard_exit_ge(k, g, n)
+
+        start = k.reg()
+        k.shr(start, g, shift)
+        k.shl(start, start, shift)
+        i = k.reg()
+        k.isub(i, g, start)  # position within the merged block
+
+        # binary search bounds: lo = max(0, i-width), hi = min(i, width)
+        zero = k.mov32i_new(0)
+        lo = k.reg()
+        k.isub(lo, i, width)
+        k.imnmx(lo, lo, zero, mode=CmpOp.MAX)
+        hi = k.reg()
+        k.imnmx(hi, i, width, mode=CmpOp.MIN)
+
+        a_base = k.reg()  # byte address of A = src[start..]
+        k.shl(a_base, start, imm=2)
+        k.iadd(a_base, a_base, src)
+        b_base = k.reg()  # byte address of B = src[start+width..]
+        w4 = k.reg()
+        k.shl(w4, width, imm=2)
+        k.iadd(b_base, a_base, w4)
+
+        mid, addr, av, bv, t = k.reg(), k.reg(), k.reg(), k.reg(), k.reg()
+        pc_ = k.pred()
+        with k.loop() as lp:
+            pdone = k.pred()
+            k.isetp(pdone, lo, hi, CmpOp.GE)
+            lp.break_if(pdone)
+            k._next_pred -= 1
+            k.iadd(mid, lo, hi)
+            k.shr(mid, mid, imm=1)
+            k.shl(addr, mid, imm=2)
+            k.iadd(addr, addr, a_base)
+            k.gld(av, addr)                  # A[mid]
+            k.isub(t, i, mid)
+            k.iadd(t, t, imm=-1 & 0xFFFFFFFF)
+            k.shl(addr, t, imm=2)
+            k.iadd(addr, addr, b_base)
+            k.gld(bv, addr)                  # B[i-1-mid]
+            k.isetp(pc_, av, bv, CmpOp.LE)
+            k.iadd(t, mid, imm=1)
+            k.mov(lo, t, pred=pc_)
+            k.mov(hi, mid, pred=pc_, pred_neg=True)
+
+        cross = lo
+        # aV = cross < width ? A[cross] : INF
+        aV = k.mov32i_new(INT_INF)
+        pa = k.pred()
+        k.isetp(pa, cross, width, CmpOp.LT)
+        k.shl(addr, cross, imm=2)
+        k.iadd(addr, addr, a_base)
+        k.gld(aV, addr, pred=pa)
+        # bV = (i-cross) < width ? B[i-cross] : INF
+        bV = k.mov32i_new(INT_INF)
+        pb = k.pred()
+        k.isub(t, i, cross)
+        k.isetp(pb, t, width, CmpOp.LT)
+        k.shl(addr, t, imm=2)
+        k.iadd(addr, addr, b_base)
+        k.gld(bV, addr, pred=pb)
+
+        out = k.reg()
+        psel = k.pred()
+        k.isetp(psel, aV, bV, CmpOp.LE)
+        k.sel(out, aV, bV, psel)
+        oaddr = k.reg()
+        k.shl(oaddr, g, imm=2)
+        k.iadd(oaddr, oaddr, dst)
+        k.gst(oaddr, out)
+        k.exit()
+        return {"merge_pass": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.data.view(np.uint32))
+        pb = device.alloc(n)
+        prog = self.program()
+        block = min(128, n)
+        grid = -(-n // block)
+        src, dst = pa, pb
+        width = 1
+        while width < n:
+            shift = int(width * 2).bit_length() - 1
+            launcher(prog, grid, block, params=[n, src, dst, width, shift])
+            src, dst = dst, src
+            width *= 2
+        return self._bits(device.read(src, n, np.int32))
+
+    def reference(self) -> np.ndarray:
+        return np.sort(self.data, kind="stable")

@@ -1,0 +1,185 @@
+"""RTL characterization micro-benchmarks (paper §4.1).
+
+Each micro-benchmark instantiates 64 threads (2 warps) executing the same
+instruction, with inputs drawn from the paper's three ranges:
+
+* **S** (small): 6.8e-6 .. 7.3e-6
+* **M** (medium): 1.8 .. 59.4
+* **L** (large): 3.8e9 .. 12.5e9
+
+Integer opcodes use integer analogues of the ranges; SFU opcodes (FSIN,
+FEXP) use inputs in [0, pi/2] per the SFU operational constraints.
+The 12 micro-benchmarks are: FADD FMUL FFMA IADD IMUL IMAD FSIN FEXP
+GLD GST BRA ISET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp, Op
+from repro.isa.program import Program
+from repro.workloads.kutil import elem_addr, global_tid_x
+
+NTHREADS = 64  # 2 warps
+
+MICROBENCH_NAMES = [
+    "FADD", "FMUL", "FFMA", "IADD", "IMUL", "IMAD",
+    "FSIN", "FEXP", "GLD", "GST", "BRA", "ISET",
+]
+
+ARITH_FP = ("FADD", "FMUL", "FFMA")
+ARITH_INT = ("IADD", "IMUL", "IMAD")
+SFU_OPS = ("FSIN", "FEXP")
+MEM_OPS = ("GLD", "GST")
+CTRL_OPS = ("BRA", "ISET")
+
+#: paper input ranges (FP values; integer benches use integer analogues)
+INPUT_RANGES: dict[str, tuple[float, float]] = {
+    "S": (6.8e-6, 7.3e-6),
+    "M": (1.8, 59.4),
+    "L": (3.8e9, 12.5e9),
+}
+INT_RANGES: dict[str, tuple[int, int]] = {
+    "S": (1, 8),
+    "M": (2, 60),
+    "L": (1 << 28, 1 << 30),
+}
+
+
+@dataclass
+class MicroBenchmark:
+    """A built micro-benchmark plus its (seeded) input arrays."""
+
+    name: str
+    program: Program
+    inputs: dict[str, np.ndarray]      # name -> 64-wide array (uint32 bits)
+    num_outputs: int                   # words of output
+
+    @property
+    def is_fp(self) -> bool:
+        return self.name in ARITH_FP + SFU_OPS
+
+    def run_golden(self, device, launcher=None) -> np.ndarray:
+        """Execute on a gpusim device; returns output bits."""
+        from repro.workloads.base import default_launcher
+
+        launch = launcher or default_launcher(device)
+        ptrs = [device.alloc_array(arr) for arr in self.inputs.values()]
+        pout = device.alloc(self.num_outputs)
+        launch(self.program, 1, NTHREADS, params=[*ptrs, pout])
+        return device.read(pout, self.num_outputs)
+
+
+def _sample(rng: np.random.Generator, name: str, input_range: str) -> np.ndarray:
+    if name in ARITH_INT or name in MEM_OPS or name in CTRL_OPS:
+        lo, hi = INT_RANGES[input_range]
+        return rng.integers(lo, hi, size=NTHREADS).astype(np.uint32)
+    if name in SFU_OPS:
+        return rng.uniform(0.0, np.pi / 2, size=NTHREADS).astype(
+            np.float32).view(np.uint32)
+    lo, hi = INPUT_RANGES[input_range]
+    return rng.uniform(lo, hi, size=NTHREADS).astype(np.float32).view(np.uint32)
+
+
+def build_microbench(name: str, input_range: str = "M",
+                     seed: int = 0, value_index: int = 0) -> MicroBenchmark:
+    """Build micro-benchmark *name* with inputs from *input_range*.
+
+    ``value_index`` selects one of the paper's "4 different randomly
+    selected values per input range".
+    """
+    if name not in MICROBENCH_NAMES:
+        raise KeyError(f"unknown micro-benchmark {name!r}")
+    rng = make_rng(seed, "microbench", name, input_range, value_index)
+
+    if name in ARITH_FP + ARITH_INT + SFU_OPS:
+        return _build_arith(name, rng, input_range)
+    if name in MEM_OPS:
+        return _build_mem(name, rng, input_range)
+    return _build_ctrl(name, rng, input_range)
+
+
+def _build_arith(name, rng, input_range) -> MicroBenchmark:
+    three_ops = name in ("FFMA", "IMAD")
+    unary = name in SFU_OPS
+    k = KernelBuilder(f"micro_{name.lower()}", nregs=24)
+    g = global_tid_x(k)
+    a_ptr = k.load_param(0)
+    nsrc = 1 if unary else (3 if three_ops else 2)
+    ptrs = [a_ptr] + [k.load_param(i) for i in range(1, nsrc)]
+    out_ptr = k.load_param(nsrc)
+    vals = []
+    for p in ptrs:
+        v = k.reg()
+        k.gld(v, elem_addr(k, p, g))
+        vals.append(v)
+    d = k.reg()
+    emit = {
+        "FADD": lambda: k.fadd(d, vals[0], vals[1]),
+        "FMUL": lambda: k.fmul(d, vals[0], vals[1]),
+        "FFMA": lambda: k.ffma(d, vals[0], vals[1], vals[2]),
+        "IADD": lambda: k.iadd(d, vals[0], vals[1]),
+        "IMUL": lambda: k.imul(d, vals[0], vals[1]),
+        "IMAD": lambda: k.imad(d, vals[0], vals[1], vals[2]),
+        "FSIN": lambda: k.fsin(d, vals[0]),
+        "FEXP": lambda: k.fexp(d, vals[0]),
+    }[name]
+    emit()
+    k.gst(elem_addr(k, out_ptr, g), d)
+    k.exit()
+    inputs = {f"in{i}": _sample(rng, name, input_range) for i in range(nsrc)}
+    return MicroBenchmark(name, k.build(), inputs, NTHREADS)
+
+
+def _build_mem(name, rng, input_range) -> MicroBenchmark:
+    # load followed by store (the paper's memory-movement micro-benchmark)
+    k = KernelBuilder(f"micro_{name.lower()}", nregs=24)
+    g = global_tid_x(k)
+    in_ptr = k.load_param(0)
+    out_ptr = k.load_param(1)
+    v = k.reg()
+    k.gld(v, elem_addr(k, in_ptr, g))
+    if name == "GST":
+        k.iadd(v, v, imm=1)  # touch the value so GST has a live datapath
+    k.gst(elem_addr(k, out_ptr, g), v)
+    k.exit()
+    inputs = {"in0": _sample(rng, name, input_range)}
+    return MicroBenchmark(name, k.build(), inputs, NTHREADS)
+
+
+def _build_ctrl(name, rng, input_range) -> MicroBenchmark:
+    # a limited number of set-register instructions before the branch;
+    # output encodes both the set registers and the branch decision
+    k = KernelBuilder(f"micro_{name.lower()}", nregs=24)
+    g = global_tid_x(k)
+    a_ptr = k.load_param(0)
+    b_ptr = k.load_param(1)
+    out_ptr = k.load_param(2)
+    a = k.reg()
+    k.gld(a, elem_addr(k, a_ptr, g))
+    b = k.reg()
+    k.gld(b, elem_addr(k, b_ptr, g))
+    r0 = k.mov32i_new(0x11)
+    r1 = k.mov32i_new(0x22)
+    p = k.pred()
+    k.isetp(p, a, b, CmpOp.GT)
+    out = k.reg()
+    if name == "BRA":
+        with k.if_else(p) as orelse:
+            k.iadd(out, r0, r1)
+            orelse()
+            k.isub(out, r0, r1)
+    else:  # ISET: materialize the predicate
+        k.sel(out, r0, r1, p)
+    k.gst(elem_addr(k, out_ptr, g), out)
+    k.exit()
+    inputs = {
+        "in0": _sample(rng, name, input_range),
+        "in1": _sample(rng, name, input_range),
+    }
+    return MicroBenchmark(name, k.build(), inputs, NTHREADS)

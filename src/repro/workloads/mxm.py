@@ -1,0 +1,87 @@
+"""mxm — naive FP32 matrix multiplication, one thread per output element."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+
+
+class NaiveMxM(Workload):
+    meta = WorkloadMeta("mxm", "FP32", "Linear algebra", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 8},
+        "small": {"n": 16},
+        "paper": {"n": 64},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.a = self.rng.normal(size=(n, n)).astype(np.float32)
+        self.b = self.rng.normal(size=(n, n)).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("mxm", nregs=32)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        ntx = k.s2r_ntid_x()
+        nty = k.s2r_new(SpecialReg.NTID_Y)
+        col = k.reg()
+        k.imad(col, cx, ntx, tx)
+        row = k.reg()
+        k.imad(row, cy, nty, ty)
+        n = k.load_param(0)
+        a_ptr = k.load_param(1)
+        b_ptr = k.load_param(2)
+        c_ptr = k.load_param(3)
+
+        acc = k.movf_new(0.0)
+        # a_addr walks A row (stride 4), b_addr walks B column (stride 4n)
+        a_addr = k.reg()
+        k.imul(a_addr, row, n)
+        k.shl(a_addr, a_addr, imm=2)
+        k.iadd(a_addr, a_addr, a_ptr)
+        b_addr = k.reg()
+        k.shl(b_addr, col, imm=2)
+        k.iadd(b_addr, b_addr, b_ptr)
+        b_stride = k.reg()
+        k.shl(b_stride, n, imm=2)
+
+        va, vb = k.reg(), k.reg()
+        i = k.reg()
+        with k.for_range(i, 0, n):
+            k.gld(va, a_addr)
+            k.gld(vb, b_addr)
+            k.ffma(acc, va, vb, acc)
+            k.iadd(a_addr, a_addr, imm=4)
+            k.iadd(b_addr, b_addr, b_stride)
+
+        out = k.reg()
+        k.imad(out, row, n, col)
+        k.shl(out, out, imm=2)
+        k.iadd(out, out, c_ptr)
+        k.gst(out, acc)
+        k.exit()
+        return {"mxm": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.a)
+        pb = device.alloc_array(self.b)
+        pc = device.alloc(n * n)
+        t = min(8, n)
+        launcher(self.program(), grid=(n // t, n // t), block=(t, t),
+                 params=[n, pa, pb, pc])
+        return self._bits(device.read(pc, n * n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        """Host-side float32 reference (loop-ordered like the kernel)."""
+        n = self.params["n"]
+        c = np.zeros((n, n), dtype=np.float32)
+        for kk in range(n):
+            c += np.float32(self.a[:, kk:kk + 1]) * self.b[kk:kk + 1, :]
+        return c

@@ -1,0 +1,135 @@
+"""nw — Needleman-Wunsch sequence alignment (Rodinia, dynamic programming).
+
+The score matrix is filled along anti-diagonals; the host launches one
+kernel per diagonal (the wavefront pattern Rodinia uses), INT32 throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import CmpOp
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import global_tid_x, guard_exit_ge
+
+
+class NeedlemanWunsch(Workload):
+    meta = WorkloadMeta("nw", "INT32", "Dyn. Programming", "Rodinia")
+    scales = {
+        "tiny": {"n": 8, "penalty": 2},
+        "small": {"n": 24, "penalty": 2},
+        "paper": {"n": 96, "penalty": 2},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        # random substitution scores between the two sequences
+        self.sim = self.rng.integers(-4, 5, size=(n, n)).astype(np.int32)
+
+    def _build_programs(self):
+        k = KernelBuilder("nw_diagonal", nregs=48)
+        g = global_tid_x(k)
+        n = k.load_param(0)       # sequence length (matrix is (n+1)^2)
+        score_ptr = k.load_param(1)
+        sim_ptr = k.load_param(2)
+        diag = k.load_param(3)    # current anti-diagonal (2..2n)
+        count = k.load_param(4)   # cells on this diagonal
+        penalty = k.load_param(5)
+        guard_exit_ge(k, g, count)
+
+        # cell (i, j), i+j == diag, i in [max(1, diag-n) + g]
+        one = k.mov32i_new(1)
+        dmn = k.reg()
+        k.isub(dmn, diag, n)
+        i0 = k.reg()
+        k.imnmx(i0, dmn, one, mode=CmpOp.MAX)
+        i = k.reg()
+        k.iadd(i, i0, g)
+        j = k.reg()
+        k.isub(j, diag, i)
+
+        np1 = k.reg()
+        k.iadd(np1, n, imm=1)
+        idx = k.reg()
+        k.imad(idx, i, np1, j)       # score[i][j] linear index
+        ib = k.reg()
+        k.shl(ib, idx, imm=2)
+
+        # score[i-1][j-1] + sim[i-1][j-1]
+        im1 = k.reg()
+        k.iadd(im1, i, imm=-1 & 0xFFFFFFFF)
+        jm1 = k.reg()
+        k.iadd(jm1, j, imm=-1 & 0xFFFFFFFF)
+        dloc = k.reg()
+        k.imad(dloc, im1, np1, jm1)
+        k.shl(dloc, dloc, imm=2)
+        a = k.reg()
+        k.iadd(a, score_ptr, dloc)
+        diag_score = k.reg()
+        k.gld(diag_score, a)
+        sloc = k.reg()
+        k.imad(sloc, im1, n, jm1)
+        k.shl(sloc, sloc, imm=2)
+        k.iadd(a, sim_ptr, sloc)
+        simv = k.reg()
+        k.gld(simv, a)
+        k.iadd(diag_score, diag_score, simv)
+
+        # score[i-1][j] - penalty
+        uloc = k.reg()
+        k.imad(uloc, im1, np1, j)
+        k.shl(uloc, uloc, imm=2)
+        k.iadd(a, score_ptr, uloc)
+        up = k.reg()
+        k.gld(up, a)
+        k.isub(up, up, penalty)
+
+        # score[i][j-1] - penalty
+        lloc = k.reg()
+        k.imad(lloc, i, np1, jm1)
+        k.shl(lloc, lloc, imm=2)
+        k.iadd(a, score_ptr, lloc)
+        left = k.reg()
+        k.gld(left, a)
+        k.isub(left, left, penalty)
+
+        best = k.reg()
+        k.imnmx(best, up, left, mode=CmpOp.MAX)
+        k.imnmx(best, best, diag_score, mode=CmpOp.MAX)
+        k.iadd(a, score_ptr, ib)
+        k.gst(a, best)
+        k.exit()
+        return {"nw_diagonal": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pen = self.params["penalty"]
+        score = np.zeros((n + 1, n + 1), dtype=np.int32)
+        score[0, :] = -pen * np.arange(n + 1)
+        score[:, 0] = -pen * np.arange(n + 1)
+        p_score = device.alloc_array(score.view(np.uint32))
+        p_sim = device.alloc_array(self.sim.view(np.uint32))
+        prog = self.program()
+        for diag in range(2, 2 * n + 1):
+            i0 = max(1, diag - n)
+            i1 = min(n, diag - 1)
+            count = i1 - i0 + 1
+            launcher(prog, grid=-(-count // 32), block=32,
+                     params=[n, p_score, p_sim, diag, count, pen])
+        return self._bits(device.read(p_score, (n + 1) * (n + 1), np.int32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        pen = self.params["penalty"]
+        score = np.zeros((n + 1, n + 1), dtype=np.int64)
+        score[0, :] = -pen * np.arange(n + 1)
+        score[:, 0] = -pen * np.arange(n + 1)
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                score[i, j] = max(
+                    score[i - 1, j - 1] + self.sim[i - 1, j - 1],
+                    score[i - 1, j] - pen,
+                    score[i, j - 1] - pen,
+                )
+        return score.astype(np.int32).ravel()

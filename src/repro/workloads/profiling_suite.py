@@ -1,0 +1,722 @@
+"""The 14 profiling workloads used to extract gate-level stimuli (paper §4).
+
+Five of them are the evaluation apps under their profiling names (sort,
+vector_add, tiled/naive MxM, euler_3d); the other nine are implemented
+here: reduction, scalar-vector multiply, gray filter, sobel, nearest
+neighbour, scan_3d, transpose, fft, and back propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.instruction import RZ
+from repro.isa.opcodes import CmpOp, SpecialReg
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import elem_addr, global_tid_x, guard_exit_ge
+
+from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.mergesort import MergeSort
+from repro.workloads.mxm import NaiveMxM
+from repro.workloads.gemm import TiledGemm
+from repro.workloads.cfd import CFD
+
+
+class Reduction(Workload):
+    """Shared-memory tree reduction; one partial sum per CTA."""
+
+    meta = WorkloadMeta("reduction", "FP32", "Reduction", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 128, "block": 32},
+        "small": {"n": 512, "block": 64},
+        "paper": {"n": 8192, "block": 128},
+    }
+
+    def _init_data(self) -> None:
+        self.x = self.rng.normal(size=self.params["n"]).astype(np.float32)
+
+    def _build_programs(self):
+        block = self.params["block"]
+        k = KernelBuilder("reduce", nregs=32, shared_words=block)
+        tid = k.s2r_tid_x()
+        g = global_tid_x(k)
+        x_ptr = k.load_param(0)
+        out_ptr = k.load_param(1)
+        v = k.reg()
+        k.gld(v, elem_addr(k, x_ptr, g))
+        saddr = k.reg()
+        k.shl(saddr, tid, imm=2)
+        k.sts(saddr, v)
+        k.bar()
+        other = k.reg()
+        oaddr = k.reg()
+        stride = block // 2
+        while stride >= 1:
+            p = k.pred()
+            k.isetp(p, tid, imm=stride, cmp=CmpOp.LT)
+            with k.if_(p):
+                k.iadd(oaddr, saddr, imm=stride * 4)
+                k.lds(other, oaddr)
+                k.lds(v, saddr)
+                k.fadd(v, v, other)
+                k.sts(saddr, v)
+            k.bar()
+            k._next_pred -= 1
+            stride //= 2
+        p0 = k.pred()
+        k.isetp(p0, tid, RZ, CmpOp.EQ)
+        with k.if_(p0):
+            res = k.reg()
+            k.lds(res, RZ)
+            cta = k.s2r_ctaid_x()
+            dst = k.reg()
+            k.shl(dst, cta, imm=2)
+            k.iadd(dst, dst, out_ptr)
+            k.gst(dst, res)
+        k.exit()
+        return {"reduce": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n, block = self.params["n"], self.params["block"]
+        grid = n // block
+        px = device.alloc_array(self.x)
+        po = device.alloc(grid)
+        launcher(self.program(), grid, block, params=[px, po])
+        return self._bits(device.read(po, grid, np.float32))
+
+    def reference(self) -> np.ndarray:
+        n, block = self.params["n"], self.params["block"]
+        parts = self.x.reshape(n // block, block).copy()
+        stride = block // 2
+        while stride >= 1:
+            parts[:, :stride] = (parts[:, :stride]
+                                 + parts[:, stride:2 * stride]).astype(np.float32)
+            stride //= 2
+        return parts[:, 0]
+
+
+class ScalarVectorMul(Workload):
+    """y = alpha * x."""
+
+    meta = WorkloadMeta("svmul", "FP32", "Linear algebra", "CUDA SDK")
+    scales = {"tiny": {"n": 64}, "small": {"n": 512}, "paper": {"n": 8192}}
+
+    def _init_data(self) -> None:
+        self.x = self.rng.normal(size=self.params["n"]).astype(np.float32)
+        self.alpha = float(np.float32(self.rng.normal()))
+
+    def _build_programs(self):
+        k = KernelBuilder("svmul", nregs=24)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        guard_exit_ge(k, g, n)
+        x_ptr = k.load_param(1)
+        y_ptr = k.load_param(2)
+        alpha = k.load_param(3)
+        v = k.reg()
+        k.gld(v, elem_addr(k, x_ptr, g))
+        k.fmul(v, v, alpha)
+        k.gst(elem_addr(k, y_ptr, g), v)
+        k.exit()
+        return {"svmul": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        px = device.alloc_array(self.x)
+        py = device.alloc(n)
+        launcher(self.program(), -(-n // 64), 64, params=[n, px, py, self.alpha])
+        return self._bits(device.read(py, n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        return (self.x * np.float32(self.alpha)).astype(np.float32)
+
+
+class GrayFilter(Workload):
+    """RGB -> luminance conversion."""
+
+    meta = WorkloadMeta("gray_filter", "FP32", "Image processing", "CUDA SDK")
+    scales = {"tiny": {"n": 64}, "small": {"n": 512}, "paper": {"n": 8192}}
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.rgb = self.rng.uniform(0, 255, size=(3, n)).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("gray_filter", nregs=32)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        guard_exit_ge(k, g, n)
+        r_ptr = k.load_param(1)
+        g_ptr = k.load_param(2)
+        b_ptr = k.load_param(3)
+        o_ptr = k.load_param(4)
+        vr = k.reg()
+        k.gld(vr, elem_addr(k, r_ptr, g))
+        vg = k.reg()
+        k.gld(vg, elem_addr(k, g_ptr, g))
+        vb = k.reg()
+        k.gld(vb, elem_addr(k, b_ptr, g))
+        wr = k.movf_new(0.299)
+        wg = k.movf_new(0.587)
+        wb = k.movf_new(0.114)
+        acc = k.reg()
+        k.fmul(acc, vr, wr)
+        k.ffma(acc, vg, wg, acc)
+        k.ffma(acc, vb, wb, acc)
+        k.gst(elem_addr(k, o_ptr, g), acc)
+        k.exit()
+        return {"gray_filter": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pr = device.alloc_array(self.rgb[0].copy())
+        pg = device.alloc_array(self.rgb[1].copy())
+        pb = device.alloc_array(self.rgb[2].copy())
+        po = device.alloc(n)
+        launcher(self.program(), -(-n // 64), 64, params=[n, pr, pg, pb, po])
+        return self._bits(device.read(po, n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        r, g, b = self.rgb
+        acc = (r * np.float32(0.299)).astype(np.float32)
+        acc = (g * np.float32(0.587) + acc).astype(np.float32)
+        return (b * np.float32(0.114) + acc).astype(np.float32)
+
+
+class Sobel(Workload):
+    """3x3 Sobel edge detector, |gx| + |gy| on an INT32 image."""
+
+    meta = WorkloadMeta("sobel", "INT32", "Image processing", "CUDA SDK")
+    scales = {"tiny": {"n": 8}, "small": {"n": 16}, "paper": {"n": 64}}
+
+    GX = ((-1, 0, 1), (-2, 0, 2), (-1, 0, 1))
+    GY = ((-1, -2, -1), (0, 0, 0), (1, 2, 1))
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.img = self.rng.integers(0, 256, size=(n, n)).astype(np.int32)
+
+    def _build_programs(self):
+        k = KernelBuilder("sobel", nregs=48)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        col = k.reg()
+        k.imad(col, cx, k.s2r_ntid_x(), tx)
+        row = k.reg()
+        k.imad(row, cy, k.s2r_new(SpecialReg.NTID_Y), ty)
+        n = k.load_param(0)
+        in_ptr = k.load_param(1)
+        out_ptr = k.load_param(2)
+        nm1 = k.reg()
+        k.iadd(nm1, n, imm=-1 & 0xFFFFFFFF)
+        zero = k.mov32i_new(0)
+        gx = k.mov32i_new(0)
+        gy = k.mov32i_new(0)
+        rr, cc, idx, a, v, t = (k.reg(), k.reg(), k.reg(),
+                                k.reg(), k.reg(), k.reg())
+        for dy in range(-1, 2):
+            for dx in range(-1, 2):
+                wx = self.GX[dy + 1][dx + 1]
+                wy = self.GY[dy + 1][dx + 1]
+                if wx == 0 and wy == 0:
+                    continue
+                k.iadd(rr, row, imm=dy & 0xFFFFFFFF)
+                k.imnmx(rr, rr, nm1, mode=CmpOp.MIN)
+                k.imnmx(rr, rr, zero, mode=CmpOp.MAX)
+                k.iadd(cc, col, imm=dx & 0xFFFFFFFF)
+                k.imnmx(cc, cc, nm1, mode=CmpOp.MIN)
+                k.imnmx(cc, cc, zero, mode=CmpOp.MAX)
+                k.imad(idx, rr, n, cc)
+                k.shl(idx, idx, imm=2)
+                k.iadd(a, in_ptr, idx)
+                k.gld(v, a)
+                if wx:
+                    k.imul(t, v, imm=wx & 0xFFFFFFFF)
+                    k.iadd(gx, gx, t)
+                if wy:
+                    k.imul(t, v, imm=wy & 0xFFFFFFFF)
+                    k.iadd(gy, gy, t)
+        # |gx| + |gy| via max(x, -x)
+        k.isub(t, zero, gx)
+        k.imnmx(gx, gx, t, mode=CmpOp.MAX)
+        k.isub(t, zero, gy)
+        k.imnmx(gy, gy, t, mode=CmpOp.MAX)
+        k.iadd(gx, gx, gy)
+        k.imad(idx, row, n, col)
+        k.shl(idx, idx, imm=2)
+        k.iadd(a, out_ptr, idx)
+        k.gst(a, gx)
+        k.exit()
+        return {"sobel": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pi = device.alloc_array(self.img.view(np.uint32))
+        po = device.alloc(n * n)
+        t = min(8, n)
+        launcher(self.program(), grid=(n // t, n // t), block=(t, t),
+                 params=[n, pi, po])
+        return self._bits(device.read(po, n * n, np.int32))
+
+    def reference(self) -> np.ndarray:
+        n = self.params["n"]
+        img = np.pad(self.img.astype(np.int64), 1, mode="edge")
+        gx = np.zeros((n, n), dtype=np.int64)
+        gy = np.zeros((n, n), dtype=np.int64)
+        for dy in range(3):
+            for dx in range(3):
+                w = img[dy:dy + n, dx:dx + n]
+                gx += self.GX[dy][dx] * w
+                gy += self.GY[dy][dx] * w
+        return (np.abs(gx) + np.abs(gy)).astype(np.int32).ravel()
+
+
+class NearestNeighbor(Workload):
+    """nn — distance of every record to a query point (Rodinia nn)."""
+
+    meta = WorkloadMeta("nn", "FP32", "Data mining", "Rodinia")
+    scales = {"tiny": {"n": 64}, "small": {"n": 512}, "paper": {"n": 8192}}
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.lat = self.rng.uniform(-90, 90, size=n).astype(np.float32)
+        self.lng = self.rng.uniform(-180, 180, size=n).astype(np.float32)
+        self.q = (float(np.float32(12.5)), float(np.float32(-45.0)))
+
+    def _build_programs(self):
+        k = KernelBuilder("nn", nregs=32)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        guard_exit_ge(k, g, n)
+        lat_ptr = k.load_param(1)
+        lng_ptr = k.load_param(2)
+        out_ptr = k.load_param(3)
+        qlat = k.load_param(4)
+        qlng = k.load_param(5)
+        la = k.reg()
+        k.gld(la, elem_addr(k, lat_ptr, g))
+        lo = k.reg()
+        k.gld(lo, elem_addr(k, lng_ptr, g))
+        m1 = k.movf_new(-1.0)
+        d1 = k.reg()
+        k.fmul(d1, qlat, m1)
+        k.fadd(d1, la, d1)
+        d2 = k.reg()
+        k.fmul(d2, qlng, m1)
+        k.fadd(d2, lo, d2)
+        s = k.reg()
+        k.fmul(s, d1, d1)
+        k.ffma(s, d2, d2, s)
+        k.fsqrt(s, s)
+        k.gst(elem_addr(k, out_ptr, g), s)
+        k.exit()
+        return {"nn": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pla = device.alloc_array(self.lat)
+        plo = device.alloc_array(self.lng)
+        po = device.alloc(n)
+        launcher(self.program(), -(-n // 64), 64,
+                 params=[n, pla, plo, po, self.q[0], self.q[1]])
+        return self._bits(device.read(po, n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        d1 = (self.lat + np.float32(self.q[0]) * np.float32(-1.0)).astype(np.float32)
+        d2 = (self.lng + np.float32(self.q[1]) * np.float32(-1.0)).astype(np.float32)
+        s = (d1 * d1).astype(np.float32)
+        s = (d2 * d2 + s).astype(np.float32)
+        return np.sqrt(s, dtype=np.float32)
+
+
+class Scan3D(Workload):
+    """scan_3d — per-row inclusive scan over the x axis of a 3-D volume."""
+
+    meta = WorkloadMeta("scan_3d", "FP32", "Structured Grid", "CUDA SDK")
+    scales = {
+        "tiny": {"d": 4}, "small": {"d": 8}, "paper": {"d": 16},
+    }
+
+    def _init_data(self) -> None:
+        d = self.params["d"]
+        self.vol = self.rng.normal(size=(d, d, d)).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("scan3d_row", nregs=32)
+        g = global_tid_x(k)  # one thread per (z, y) row
+        d = k.load_param(0)
+        nrows = k.reg()
+        k.imul(nrows, d, d)
+        guard_exit_ge(k, g, nrows)
+        v_ptr = k.load_param(1)
+        base = k.reg()
+        k.imul(base, g, d)
+        k.shl(base, base, imm=2)
+        k.iadd(base, base, v_ptr)
+        acc = k.movf_new(0.0)
+        i = k.reg()
+        v = k.reg()
+        addr = k.reg()
+        k.mov(addr, base)
+        with k.for_range(i, 0, d):
+            k.gld(v, addr)
+            k.fadd(acc, acc, v)
+            k.gst(addr, acc)
+            k.iadd(addr, addr, imm=4)
+        k.exit()
+        return {"scan3d_row": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        d = self.params["d"]
+        pv = device.alloc_array(self.vol)
+        launcher(self.program(), -(-(d * d) // 32), 32, params=[d, pv])
+        return self._bits(device.read(pv, d ** 3, np.float32))
+
+    def reference(self) -> np.ndarray:
+        d = self.params["d"]
+        out = self.vol.copy().reshape(d * d, d)
+        for i in range(1, d):
+            out[:, i] = (out[:, i - 1] + out[:, i]).astype(np.float32)
+        return out.ravel()
+
+
+class Transpose(Workload):
+    """Shared-memory tiled matrix transpose (CUDA SDK)."""
+
+    meta = WorkloadMeta("transpose", "FP32", "Linear algebra", "CUDA SDK")
+    scales = {"tiny": {"n": 8}, "small": {"n": 16}, "paper": {"n": 64}}
+
+    TILE = 8
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.a = self.rng.normal(size=(n, n)).astype(np.float32)
+
+    def _build_programs(self):
+        T = self.TILE
+        k = KernelBuilder("transpose", nregs=40, shared_words=T * T)
+        tx = k.s2r_tid_x()
+        ty = k.s2r_new(SpecialReg.TID_Y)
+        cx = k.s2r_ctaid_x()
+        cy = k.s2r_new(SpecialReg.CTAID_Y)
+        n = k.load_param(0)
+        in_ptr = k.load_param(1)
+        out_ptr = k.load_param(2)
+        t8 = k.mov32i_new(T)
+        col = k.reg()
+        k.imad(col, cx, t8, tx)
+        row = k.reg()
+        k.imad(row, cy, t8, ty)
+        idx = k.reg()
+        k.imad(idx, row, n, col)
+        k.shl(idx, idx, imm=2)
+        a = k.reg()
+        k.iadd(a, in_ptr, idx)
+        v = k.reg()
+        k.gld(v, a)
+        s = k.reg()
+        k.imad(s, ty, t8, tx)
+        k.shl(s, s, imm=2)
+        k.sts(s, v)
+        k.bar()
+        # write transposed: out[(cx*T+ty)*n + cy*T+tx] = tile[tx][ty]
+        orow = k.reg()
+        k.imad(orow, cx, t8, ty)
+        ocol = k.reg()
+        k.imad(ocol, cy, t8, tx)
+        k.imad(idx, orow, n, ocol)
+        k.shl(idx, idx, imm=2)
+        k.iadd(a, out_ptr, idx)
+        k.imad(s, tx, t8, ty)
+        k.shl(s, s, imm=2)
+        w = k.reg()
+        k.lds(w, s)
+        k.gst(a, w)
+        k.exit()
+        return {"transpose": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pi = device.alloc_array(self.a)
+        po = device.alloc(n * n)
+        g = n // self.TILE
+        launcher(self.program(), grid=(g, g), block=(self.TILE, self.TILE),
+                 params=[n, pi, po])
+        return self._bits(device.read(po, n * n, np.float32))
+
+    def reference(self) -> np.ndarray:
+        return self.a.T.copy().ravel()
+
+
+class FFT(Workload):
+    """Iterative radix-2 FFT of a single (bit-reversed) block, FSIN-based
+    twiddles, barrier between stages."""
+
+    meta = WorkloadMeta("fft", "FP32", "Spectral", "CUDA SDK")
+    scales = {"tiny": {"n": 8}, "small": {"n": 16}, "paper": {"n": 64}}
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.re = self.rng.normal(size=n).astype(np.float32)
+        self.im = self.rng.normal(size=n).astype(np.float32)
+
+    @staticmethod
+    def _bitrev(n: int) -> np.ndarray:
+        bits = n.bit_length() - 1
+        idx = np.arange(n)
+        rev = np.zeros(n, dtype=np.int64)
+        for b in range(bits):
+            rev |= ((idx >> b) & 1) << (bits - 1 - b)
+        return rev
+
+    def _build_programs(self):
+        from repro.common.bitops import float_to_bits
+
+        n = self.params["n"]
+        stages = n.bit_length() - 1
+        k = KernelBuilder("fft", nregs=64)
+        t = k.s2r_tid_x()  # one thread per butterfly: t in [0, n/2)
+        re_ptr = k.load_param(0)
+        im_ptr = k.load_param(1)
+
+        j, p_, q_ = k.reg(), k.reg(), k.reg()
+        pa, qa = k.reg(), k.reg()
+        ar, ai, br, bi = k.reg(), k.reg(), k.reg(), k.reg()
+        wr, wi, ang = k.reg(), k.reg(), k.reg()
+        tr, ti, tmp, v = k.reg(), k.reg(), k.reg(), k.reg()
+        halfpi = k.movf_new(float(np.float32(np.pi / 2)))
+        minus1 = k.movf_new(-1.0)
+
+        for s in range(stages):
+            half = 1 << s
+            k.and_(j, t, imm=half - 1)
+            k.isub(p_, t, j)
+            k.shl(p_, p_, imm=1)
+            k.iadd(p_, p_, j)          # even index
+            k.iadd(q_, p_, imm=half)   # odd index
+            # twiddle: w = exp(-i*pi*j/half); cos via sin(x + pi/2)
+            k.i2f(ang, j)
+            k.fmul(ang, ang, imm=float_to_bits(float(np.float32(-np.pi / half))))
+            k.fadd(tmp, ang, halfpi)
+            k.fsin(wr, tmp)
+            k.fsin(wi, ang)
+            # loads
+            k.shl(pa, p_, imm=2)
+            k.shl(qa, q_, imm=2)
+            k.iadd(pa, pa, re_ptr)
+            k.iadd(qa, qa, re_ptr)
+            k.gld(ar, pa)
+            k.gld(br, qa)
+            # tr = wr*br - wi*bi; ti = wr*bi + wi*br
+            k.shl(tmp, p_, imm=2)
+            k.iadd(tmp, tmp, im_ptr)
+            k.gld(ai, tmp)
+            k.shl(tmp, q_, imm=2)
+            k.iadd(tmp, tmp, im_ptr)
+            k.gld(bi, tmp)
+            k.fmul(tr, wr, br)
+            k.fmul(tmp, wi, minus1)
+            k.ffma(tr, tmp, bi, tr)
+            k.fmul(ti, wr, bi)
+            k.ffma(ti, wi, br, ti)
+            # butterflies
+            k.fadd(v, ar, tr)
+            k.gst(pa, v)
+            k.fmul(tmp, tr, minus1)
+            k.fadd(v, ar, tmp)
+            k.gst(qa, v)
+            k.shl(pa, p_, imm=2)
+            k.iadd(pa, pa, im_ptr)
+            k.shl(qa, q_, imm=2)
+            k.iadd(qa, qa, im_ptr)
+            k.fadd(v, ai, ti)
+            k.gst(pa, v)
+            k.fmul(tmp, ti, minus1)
+            k.fadd(v, ai, tmp)
+            k.gst(qa, v)
+            k.bar()
+        k.exit()
+        return {"fft": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        rev = self._bitrev(n)
+        pre = device.alloc_array(self.re[rev].copy())
+        pim = device.alloc_array(self.im[rev].copy())
+        launcher(self.program(), 1, n // 2, params=[pre, pim])
+        out = np.concatenate([device.read(pre, n, np.float32),
+                              device.read(pim, n, np.float32)])
+        return self._bits(out)
+
+    def reference(self) -> np.ndarray:
+        f = np.float32
+        n = self.params["n"]
+        rev = self._bitrev(n)
+        re = self.re[rev].astype(np.float32)
+        im = self.im[rev].astype(np.float32)
+        halfpi = f(np.pi / 2)
+        stages = n.bit_length() - 1
+        for s in range(stages):
+            half = 1 << s
+            c = f(-np.pi / half)
+            new_re, new_im = re.copy(), im.copy()
+            for t in range(n // 2):
+                j = t & (half - 1)
+                p = 2 * (t - j) + j
+                q = p + half
+                ang = f(f(j) * c)
+                wr = f(np.sin(f(ang + halfpi)))
+                wi = f(np.sin(ang))
+                ar, ai, br, bi = re[p], im[p], re[q], im[q]
+                tr = f(wr * br)
+                tr = f(f(f(wi * f(-1.0)) * bi) + tr)
+                ti = f(wr * bi)
+                ti = f(f(wi * br) + ti)
+                new_re[p] = f(ar + tr)
+                new_re[q] = f(ar + f(tr * f(-1.0)))
+                new_im[p] = f(ai + ti)
+                new_im[q] = f(ai + f(ti * f(-1.0)))
+            re, im = new_re, new_im
+        return np.concatenate([re, im])
+
+
+class BackProp(Workload):
+    """backprop — one MLP layer forward (sigmoid) + outer-product weight
+    update (Rodinia backprop pattern)."""
+
+    meta = WorkloadMeta("backprop", "FP32", "Pattern Recognition", "Rodinia")
+    scales = {
+        "tiny": {"n_in": 16, "n_hid": 8, "eta": 0.3},
+        "small": {"n_in": 64, "n_hid": 16, "eta": 0.3},
+        "paper": {"n_in": 512, "n_hid": 64, "eta": 0.3},
+    }
+
+    def _init_data(self) -> None:
+        p = self.params
+        self.x = self.rng.uniform(0, 1, size=p["n_in"]).astype(np.float32)
+        self.w = (self.rng.normal(size=(p["n_hid"], p["n_in"])) * 0.2).astype(
+            np.float32
+        )
+        self.delta = self.rng.normal(size=p["n_hid"]).astype(np.float32)
+
+    def _build_programs(self):
+        # forward: h[o] = sigmoid(sum_i w[o,i] * x[i])
+        kf = KernelBuilder("bp_forward", nregs=40)
+        o = global_tid_x(kf)
+        n_in = kf.load_param(0)
+        n_hid = kf.load_param(1)
+        x_ptr = kf.load_param(2)
+        w_ptr = kf.load_param(3)
+        h_ptr = kf.load_param(4)
+        guard_exit_ge(kf, o, n_hid)
+        acc = kf.movf_new(0.0)
+        waddr = kf.reg()
+        kf.imul(waddr, o, n_in)
+        kf.shl(waddr, waddr, imm=2)
+        kf.iadd(waddr, waddr, w_ptr)
+        xaddr = kf.reg()
+        kf.mov(xaddr, x_ptr)
+        i = kf.reg()
+        xv, wv = kf.reg(), kf.reg()
+        with kf.for_range(i, 0, n_in):
+            kf.gld(xv, xaddr)
+            kf.gld(wv, waddr)
+            kf.ffma(acc, xv, wv, acc)
+            kf.iadd(xaddr, xaddr, imm=4)
+            kf.iadd(waddr, waddr, imm=4)
+        # sigmoid = 1 / (1 + exp(-acc))
+        m1 = kf.movf_new(-1.0)
+        nz = kf.reg()
+        kf.fmul(nz, acc, m1)
+        e = kf.reg()
+        kf.fexp(e, nz)
+        one = kf.movf_new(1.0)
+        kf.fadd(e, e, one)
+        kf.frcp(e, e)
+        kf.gst(elem_addr(kf, h_ptr, o), e)
+        kf.exit()
+
+        # update: w[o,i] += eta * delta[o] * h-ish(x[i])
+        ku = KernelBuilder("bp_update", nregs=40)
+        tx = ku.s2r_tid_x()
+        cy = ku.s2r_new(SpecialReg.CTAID_Y)  # one row per cta.y
+        n_in = ku.load_param(0)
+        x_ptr = ku.load_param(1)
+        w_ptr = ku.load_param(2)
+        d_ptr = ku.load_param(3)
+        eta = ku.load_param(4)
+        gx = ku.reg()
+        ku.imad(gx, ku.s2r_ctaid_x(), ku.s2r_ntid_x(), tx)
+        guard_exit_ge(ku, gx, n_in)
+        dv = ku.reg()
+        ku.gld(dv, elem_addr(ku, d_ptr, cy))
+        xv = ku.reg()
+        ku.gld(xv, elem_addr(ku, x_ptr, gx))
+        widx = ku.reg()
+        ku.imad(widx, cy, n_in, gx)
+        ku.shl(widx, widx, imm=2)
+        waddr = ku.reg()
+        ku.iadd(waddr, w_ptr, widx)
+        wv = ku.reg()
+        ku.gld(wv, waddr)
+        t = ku.reg()
+        ku.fmul(t, dv, eta)
+        ku.fmul(t, t, xv)
+        ku.fadd(wv, wv, t)
+        ku.gst(waddr, wv)
+        ku.exit()
+        return {"bp_forward": kf.build(), "bp_update": ku.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        p = self.params
+        px = device.alloc_array(self.x)
+        pw = device.alloc_array(self.w)
+        pd = device.alloc_array(self.delta)
+        ph = device.alloc(p["n_hid"])
+        progs = self.programs()
+        launcher(progs["bp_forward"], -(-p["n_hid"] // 32), 32,
+                 params=[p["n_in"], p["n_hid"], px, pw, ph])
+        launcher(progs["bp_update"], (-(-p["n_in"] // 32), p["n_hid"]), 32,
+                 params=[p["n_in"], px, pw, pd, float(p["eta"])])
+        out = np.concatenate([
+            device.read(ph, p["n_hid"], np.float32),
+            device.read(pw, p["n_hid"] * p["n_in"], np.float32),
+        ])
+        return self._bits(out)
+
+    def reference(self) -> np.ndarray:
+        f = np.float32
+        p = self.params
+        h = np.zeros(p["n_hid"], dtype=np.float32)
+        for o in range(p["n_hid"]):
+            acc = f(0.0)
+            for i in range(p["n_in"]):
+                acc = f(self.x[i] * self.w[o, i] + acc)
+            e = f(np.exp(f(acc * f(-1.0))))
+            h[o] = f(1.0) / f(e + f(1.0))
+        t = (self.delta * f(p["eta"]))[:, None].astype(np.float32)
+        t = (t * self.x[None, :]).astype(np.float32)
+        w = (self.w + t).astype(np.float32)
+        return np.concatenate([h, w.ravel()])
+
+
+#: profiling-suite name -> class (5 reuse the evaluation apps)
+PROFILING_SUITE: dict[str, type[Workload]] = {
+    "sort": MergeSort,
+    "vector_add": VectorAdd,
+    "fft": FFT,
+    "tiled_mxm": TiledGemm,
+    "naive_mxm": NaiveMxM,
+    "reduction": Reduction,
+    "gray_filter": GrayFilter,
+    "sobel": Sobel,
+    "svmul": ScalarVectorMul,
+    "nn": NearestNeighbor,
+    "scan_3d": Scan3D,
+    "transpose": Transpose,
+    "euler_3d": CFD,
+    "backprop": BackProp,
+}

@@ -1,0 +1,243 @@
+"""quicksort — host-driven GPU quicksort (CUDA SDK cdpSimpleQuicksort style).
+
+The host keeps a segment stack. Large segments are partitioned on the GPU
+by a single-CTA kernel (classification + shared-memory Hillis-Steele scan
++ scatter); small segments fall back to a serial insertion-sort kernel —
+so the application "instances many kernels", the trait the paper links to
+quicksort's near-100% EPR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.instruction import RZ
+from repro.isa.opcodes import CmpOp
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+
+INSERTION_THRESHOLD = 8
+
+
+class QuickSort(Workload):
+    meta = WorkloadMeta("quicksort", "INT32", "Sorting", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 32, "block": 32},
+        "small": {"n": 128, "block": 128},
+        "paper": {"n": 512, "block": 512},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.data = self.rng.integers(-1000, 1000, size=n).astype(np.int32)
+
+    def _build_programs(self):
+        block = self.params["block"]
+        # ---- partition kernel: one CTA handles one segment ------------
+        kp = KernelBuilder("qsort_partition", nregs=48, shared_words=block)
+        t = kp.s2r_tid_x()
+        a_ptr = kp.load_param(0)
+        tmp_ptr = kp.load_param(1)
+        lo = kp.load_param(2)
+        seg = kp.load_param(3)      # segment length
+        cnt_ptr = kp.load_param(4)  # out: number of elements < pivot
+
+        # pivot = a[lo + seg - 1]
+        piv_idx = kp.reg()
+        kp.iadd(piv_idx, lo, seg)
+        kp.iadd(piv_idx, piv_idx, imm=-1 & 0xFFFFFFFF)
+        paddr = kp.reg()
+        kp.shl(paddr, piv_idx, imm=2)
+        kp.iadd(paddr, paddr, a_ptr)
+        pivot = kp.reg()
+        kp.gld(pivot, paddr)
+
+        segm1 = kp.reg()
+        kp.iadd(segm1, seg, imm=-1 & 0xFFFFFFFF)
+        p_valid = kp.pred()
+        kp.isetp(p_valid, t, segm1, CmpOp.LT)   # excludes the pivot slot
+
+        # x = a[lo + t] (predicated)
+        x = kp.mov32i_new(0)
+        xaddr = kp.reg()
+        kp.iadd(xaddr, lo, t)
+        kp.shl(xaddr, xaddr, imm=2)
+        kp.iadd(xaddr, xaddr, a_ptr)
+        kp.gld(x, xaddr, pred=p_valid)
+
+        flag = kp.mov32i_new(0)
+        p_less = kp.pred()
+        kp.isetp(p_less, x, pivot, CmpOp.LT)
+        one = kp.mov32i_new(1)
+        kp.mov(flag, one, pred=p_less)
+        zero = kp.mov32i_new(0)
+        kp.mov(flag, zero, pred=p_valid, pred_neg=True)
+        # re-derive p_less as valid && less for the scatter below
+        kp.isetp(p_less, flag, zero, CmpOp.NE)
+
+        # inclusive Hillis-Steele scan of `flag` in shared memory
+        saddr = kp.reg()
+        kp.shl(saddr, t, imm=2)
+        kp.sts(saddr, flag)
+        kp.bar()
+        run = kp.reg()
+        kp.mov(run, flag)
+        v = kp.reg()
+        srcaddr = kp.reg()
+        tmo = kp.reg()
+        off = 1
+        while off < block:
+            p_has = kp.pred()
+            kp.isetp(p_has, t, imm=off, cmp=CmpOp.GE)
+            kp.mov32i(v, 0)
+            kp.isub(tmo, t, imm=off)
+            kp.imnmx(tmo, tmo, zero, mode=CmpOp.MAX)
+            kp.shl(srcaddr, tmo, imm=2)
+            kp.lds(v, srcaddr, pred=p_has)
+            kp.bar()
+            kp.iadd(run, run, v)
+            kp.sts(saddr, run)
+            kp.bar()
+            kp._next_pred -= 1
+            off *= 2
+
+        # total number of "less" elements
+        total = kp.reg()
+        kp.lds(total, RZ, offset=(block - 1) * 4)
+
+        # scatter: less -> tmp[lo + run - 1]; geq -> tmp[lo+total+1 + t-run]
+        pos = kp.reg()
+        daddr = kp.reg()
+        kp.iadd(pos, lo, run)
+        kp.iadd(pos, pos, imm=-1 & 0xFFFFFFFF)
+        kp.shl(daddr, pos, imm=2)
+        kp.iadd(daddr, daddr, tmp_ptr)
+        kp.gst(daddr, x, pred=p_less)
+        p_geq = kp.pred()
+        kp.isetp(p_geq, flag, zero, CmpOp.EQ)
+        # p_geq must also require validity: invalid threads have flag==0 too
+        rank = kp.reg()
+        kp.isub(rank, t, run)
+        kp.iadd(pos, lo, total)
+        kp.iadd(pos, pos, imm=1)
+        kp.iadd(pos, pos, rank)
+        kp.shl(daddr, pos, imm=2)
+        kp.iadd(daddr, daddr, tmp_ptr)
+        with kp.if_(p_valid):
+            kp.gst(daddr, x, pred=p_geq)
+        # thread 0 places the pivot and publishes the split point
+        pzero = kp.pred()
+        kp.isetp(pzero, t, zero, CmpOp.EQ)
+        with kp.if_(pzero):
+            kp.iadd(pos, lo, total)
+            kp.shl(daddr, pos, imm=2)
+            kp.iadd(daddr, daddr, tmp_ptr)
+            kp.gst(daddr, pivot)
+            kp.gst(cnt_ptr, total)
+        kp.exit()
+
+        # ---- copy-back kernel ------------------------------------------
+        kc = KernelBuilder("qsort_copy", nregs=24)
+        t = kc.s2r_tid_x()
+        a_ptr = kc.load_param(0)
+        tmp_ptr = kc.load_param(1)
+        lo = kc.load_param(2)
+        seg = kc.load_param(3)
+        p = kc.pred()
+        kc.isetp(p, t, seg, CmpOp.GE)
+        with kc.if_(p):
+            kc.exit()
+        addr = kc.reg()
+        kc.iadd(addr, lo, t)
+        kc.shl(addr, addr, imm=2)
+        src = kc.reg()
+        kc.iadd(src, addr, tmp_ptr)
+        v = kc.reg()
+        kc.gld(v, src)
+        dst = kc.reg()
+        kc.iadd(dst, addr, a_ptr)
+        kc.gst(dst, v)
+        kc.exit()
+
+        # ---- serial insertion sort for small segments ------------------
+        ki = KernelBuilder("qsort_insertion", nregs=32)
+        a_ptr = ki.load_param(0)
+        lo = ki.load_param(1)
+        seg = ki.load_param(2)
+        base = ki.reg()
+        ki.shl(base, lo, imm=2)
+        ki.iadd(base, base, a_ptr)
+        i = ki.reg()
+        key, j, addr, vj = ki.reg(), ki.reg(), ki.reg(), ki.reg()
+        with ki.for_range(i, 1, seg):
+            ki.shl(addr, i, imm=2)
+            ki.iadd(addr, addr, base)
+            ki.gld(key, addr)
+            ki.isub(j, i, ki.mov32i_new(1))
+            with ki.loop() as lp:
+                pj = ki.pred()
+                zero2 = ki.mov32i_new(0)
+                ki.isetp(pj, j, zero2, CmpOp.LT)
+                lp.break_if(pj)
+                ki._next_pred -= 1
+                ki.shl(addr, j, imm=2)
+                ki.iadd(addr, addr, base)
+                ki.gld(vj, addr)
+                ple = ki.pred()
+                ki.isetp(ple, vj, key, CmpOp.LE)
+                lp.break_if(ple)
+                ki._next_pred -= 1
+                ki.gst(addr, vj, offset=4)
+                ki.iadd(j, j, imm=-1 & 0xFFFFFFFF)
+            ki.shl(addr, j, imm=2)
+            ki.iadd(addr, addr, base)
+            ki.gst(addr, key, offset=4)
+        ki.exit()
+
+        return {
+            "qsort_partition": kp.build(),
+            "qsort_copy": kc.build(),
+            "qsort_insertion": ki.build(),
+        }
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        block = self.params["block"]
+        pa = device.alloc_array(self.data.view(np.uint32))
+        ptmp = device.alloc(n)
+        pcnt = device.alloc(1)
+        progs = self.programs()
+        stack = [(0, n)]
+        # a fault-free quicksort performs at most ~2n partition/insertion
+        # steps; corrupted split counts (under injection) would otherwise
+        # spin this host loop forever — the host watchdog turns that into
+        # the hang/DUE a real driver would report
+        host_budget = 8 * n
+        steps = 0
+        while stack:
+            steps += 1
+            if steps > host_budget:
+                from repro.common.exceptions import WatchdogTimeoutError
+
+                raise WatchdogTimeoutError(
+                    "quicksort: host partition loop runaway"
+                )
+            lo, hi = stack.pop()
+            lo = max(0, min(int(lo), n))
+            hi = max(0, min(int(hi), n))
+            seg = hi - lo
+            if seg <= 1:
+                continue
+            if seg <= INSERTION_THRESHOLD:
+                launcher(progs["qsort_insertion"], 1, 1, params=[pa, lo, seg])
+                continue
+            launcher(progs["qsort_partition"], 1, block,
+                     params=[pa, ptmp, lo, seg, pcnt])
+            launcher(progs["qsort_copy"], 1, block, params=[pa, ptmp, lo, seg])
+            nless = int(device.read(pcnt, 1)[0])
+            stack.append((lo, lo + nless))
+            stack.append((lo + nless + 1, hi))
+        return self._bits(device.read(pa, n, np.int32))
+
+    def reference(self) -> np.ndarray:
+        return np.sort(self.data)

@@ -1,0 +1,83 @@
+"""Workload registry: Table 1 of the paper plus the profiling suite."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.lava import Lava
+from repro.workloads.mxm import NaiveMxM
+from repro.workloads.gemm import TiledGemm
+from repro.workloads.hotspot import Hotspot
+from repro.workloads.gaussian import Gaussian
+from repro.workloads.bfs import BFS
+from repro.workloads.lud import LUD
+from repro.workloads.accl import ACCL
+from repro.workloads.nw import NeedlemanWunsch
+from repro.workloads.cfd import CFD
+from repro.workloads.quicksort import QuickSort
+from repro.workloads.mergesort import MergeSort
+from repro.workloads.lenet import LeNet
+from repro.workloads.yolov3 import YoloV3
+
+#: the 15 evaluation applications of Table 1, in paper order
+EVALUATION_APPS: dict[str, type[Workload]] = {
+    "vectoradd": VectorAdd,
+    "lava": Lava,
+    "mxm": NaiveMxM,
+    "gemm": TiledGemm,
+    "hotspot": Hotspot,
+    "gaussian": Gaussian,
+    "bfs": BFS,
+    "lud": LUD,
+    "accl": ACCL,
+    "nw": NeedlemanWunsch,
+    "cfd": CFD,
+    "quicksort": QuickSort,
+    "mergesort": MergeSort,
+    "lenet": LeNet,
+    "yolov3": YoloV3,
+}
+
+
+def _profiling_workloads() -> dict[str, type[Workload]]:
+    # imported lazily to avoid a cycle at module import time
+    from repro.workloads.profiling_suite import PROFILING_SUITE
+
+    return PROFILING_SUITE
+
+
+def get_workload(name: str, scale: str = "small", seed: int | None = None,
+                 **kwargs) -> Workload:
+    """Instantiate a workload by name (evaluation or profiling suite)."""
+    cls = EVALUATION_APPS.get(name) or _profiling_workloads().get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(workload_names())}"
+        )
+    if seed is not None:
+        kwargs["seed"] = seed
+    return cls(scale=scale, **kwargs)
+
+
+def workload_names() -> list[str]:
+    """All registered workload names."""
+    return list(EVALUATION_APPS) + list(_profiling_workloads())
+
+
+#: lazily resolved view used by __init__ re-export
+class _ProfilingView(dict):
+    def __missing__(self, key):
+        self.update(_profiling_workloads())
+        return dict.__getitem__(self, key)
+
+    def __iter__(self):
+        self.update(_profiling_workloads())
+        return dict.__iter__(self)
+
+    def __len__(self):
+        self.update(_profiling_workloads())
+        return dict.__len__(self)
+
+
+PROFILING_WORKLOADS = _ProfilingView()

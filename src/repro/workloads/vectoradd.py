@@ -1,0 +1,51 @@
+"""vectoradd — FP32 element-wise vector addition (CUDA SDK)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.kutil import elem_addr, global_tid_x, guard_exit_ge
+
+
+class VectorAdd(Workload):
+    meta = WorkloadMeta("vectoradd", "FP32", "Linear algebra", "CUDA SDK")
+    scales = {
+        "tiny": {"n": 64},
+        "small": {"n": 512},
+        "paper": {"n": 16384},
+    }
+
+    def _init_data(self) -> None:
+        n = self.params["n"]
+        self.a = self.rng.normal(size=n).astype(np.float32)
+        self.b = self.rng.normal(size=n).astype(np.float32)
+
+    def _build_programs(self):
+        k = KernelBuilder("vectoradd", nregs=24)
+        g = global_tid_x(k)
+        n = k.load_param(0)
+        guard_exit_ge(k, g, n)
+        a_ptr = k.load_param(1)
+        b_ptr = k.load_param(2)
+        c_ptr = k.load_param(3)
+        va = k.reg()
+        k.gld(va, elem_addr(k, a_ptr, g))
+        vb = k.reg()
+        k.gld(vb, elem_addr(k, b_ptr, g))
+        vc = k.reg()
+        k.fadd(vc, va, vb)
+        k.gst(elem_addr(k, c_ptr, g), vc)
+        k.exit()
+        return {"vectoradd": k.build()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        n = self.params["n"]
+        pa = device.alloc_array(self.a)
+        pb = device.alloc_array(self.b)
+        pc = device.alloc(n)
+        block = 128
+        grid = -(-n // block)
+        launcher(self.program(), grid, block, params=[n, pa, pb, pc])
+        return self._bits(device.read(pc, n, np.float32))

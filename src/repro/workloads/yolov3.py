@@ -1,0 +1,88 @@
+"""yolov3 — scaled-down Darknet-style detector backbone.
+
+Structurally faithful to the YOLOv3(-tiny) pattern — conv+leaky blocks
+interleaved with 2x2 maxpools and a 1x1 linear detection head — but
+drastically scaled so the full inference runs in a fault-injection
+campaign. The substitution is documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Launcher, Workload, WorkloadMeta
+from repro.workloads.cnn_ops import (
+    ACT_LEAKY,
+    ACT_LINEAR,
+    build_conv2d,
+    build_maxpool2,
+    ref_conv2d,
+    ref_maxpool2,
+)
+
+
+class YoloV3(Workload):
+    meta = WorkloadMeta("yolov3", "FP32", "Deep Learning", "Darknet")
+    scales = {
+        "tiny": {"hw": 4, "f1": 2, "f2": 4, "head": 3},
+        "small": {"hw": 8, "f1": 4, "f2": 8, "head": 6},
+        "paper": {"hw": 32, "f1": 16, "f2": 32, "head": 18},
+    }
+
+    def _init_data(self) -> None:
+        p = self.params
+        hw, f1, f2, head = p["hw"], p["f1"], p["f2"], p["head"]
+        self.input = self.rng.uniform(0, 1, size=(3, hw, hw)).astype(np.float32)
+        s = 0.3
+        self.w1 = (self.rng.normal(size=(f1, 3, 3, 3)) * s).astype(np.float32)
+        self.b1 = (self.rng.normal(size=f1) * 0.1).astype(np.float32)
+        self.w2 = (self.rng.normal(size=(f2, f1, 3, 3)) * s).astype(np.float32)
+        self.b2 = (self.rng.normal(size=f2) * 0.1).astype(np.float32)
+        self.wh = (self.rng.normal(size=(head, f2, 1, 1)) * s).astype(np.float32)
+        self.bh = (self.rng.normal(size=head) * 0.1).astype(np.float32)
+
+    def _build_programs(self):
+        return {"conv2d": build_conv2d(), "maxpool2": build_maxpool2()}
+
+    def run(self, device, launcher: Launcher) -> np.ndarray:
+        p = self.params
+        hw, f1, f2, head = p["hw"], p["f1"], p["f2"], p["head"]
+        h2, h4 = hw // 2, hw // 4
+        progs = self.programs()
+
+        p_in = device.alloc_array(self.input)
+        p_w1 = device.alloc_array(self.w1)
+        p_b1 = device.alloc_array(self.b1)
+        p_a1 = device.alloc(f1 * hw * hw)
+        p_m1 = device.alloc(f1 * h2 * h2)
+        p_w2 = device.alloc_array(self.w2)
+        p_b2 = device.alloc_array(self.b2)
+        p_a2 = device.alloc(f2 * h2 * h2)
+        p_m2 = device.alloc(f2 * h4 * h4)
+        p_wh = device.alloc_array(self.wh)
+        p_bh = device.alloc_array(self.bh)
+        p_out = device.alloc(head * h4 * h4)
+
+        bx = 32
+        launcher(progs["conv2d"], grid=(-(-hw // bx), hw, f1), block=bx,
+                 params=[p_in, p_w1, p_b1, p_a1, 3, hw, hw, 3, hw, hw,
+                         1, ACT_LEAKY])
+        launcher(progs["maxpool2"], grid=(-(-h2 // bx), h2, f1), block=bx,
+                 params=[p_a1, p_m1, hw, h2, h2])
+        launcher(progs["conv2d"], grid=(-(-h2 // bx), h2, f2), block=bx,
+                 params=[p_m1, p_w2, p_b2, p_a2, f1, h2, h2, 3, h2, h2,
+                         1, ACT_LEAKY])
+        launcher(progs["maxpool2"], grid=(-(-h4 // bx), h4, f2), block=bx,
+                 params=[p_a2, p_m2, h2, h4, h4])
+        launcher(progs["conv2d"], grid=(-(-h4 // bx), h4, head), block=bx,
+                 params=[p_m2, p_wh, p_bh, p_out, f2, h4, h4, 1, h4, h4,
+                         0, ACT_LINEAR])
+        return self._bits(device.read(p_out, head * h4 * h4, np.float32))
+
+    def reference(self) -> np.ndarray:
+        a1 = ref_conv2d(self.input, self.w1, self.b1, pad=1, act=ACT_LEAKY)
+        m1 = ref_maxpool2(a1)
+        a2 = ref_conv2d(m1, self.w2, self.b2, pad=1, act=ACT_LEAKY)
+        m2 = ref_maxpool2(a2)
+        out = ref_conv2d(m2, self.wh, self.bh, pad=0, act=ACT_LINEAR)
+        return out.ravel()

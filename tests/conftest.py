@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig
+
+
+@pytest.fixture
+def device() -> Device:
+    """A small default device, fresh per test."""
+    return Device(DeviceConfig(global_mem_words=1 << 18))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

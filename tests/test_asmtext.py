@@ -1,0 +1,98 @@
+"""Round-trip tests for the textual assembler/disassembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import AssemblerError
+from repro.isa.asmtext import assemble, disassemble
+from repro.workloads import EVALUATION_APPS, get_workload
+
+
+def _roundtrip(program):
+    text = disassemble(program)
+    back = assemble(text)
+    assert len(back) == len(program)
+    for a, b in zip(back.instructions, program.instructions):
+        assert a.op == b.op
+        assert a.dst == b.dst and a.srcs == b.srcs
+        assert a.imm == b.imm and a.use_imm == b.use_imm
+        assert a.pred == b.pred and a.pred_neg == b.pred_neg
+        assert a.pdst == b.pdst and a.aux == b.aux
+        assert a.reconv_pc == b.reconv_pc
+    assert back.nregs == program.nregs
+    assert back.shared_words == program.shared_words
+    return text
+
+
+@pytest.mark.parametrize("name", sorted(EVALUATION_APPS))
+def test_roundtrip_every_evaluation_kernel(name):
+    w = get_workload(name, scale="tiny")
+    for prog in w.programs().values():
+        _roundtrip(prog)
+
+
+def test_roundtrip_microbenches():
+    from repro.workloads.microbench import MICROBENCH_NAMES, build_microbench
+
+    for n in MICROBENCH_NAMES:
+        _roundtrip(build_microbench(n, "M").program)
+
+
+def test_assemble_simple_text():
+    prog = assemble("""
+    .kernel demo nregs=8 shared=0
+    start:
+      MOV32I R1, 0x2a
+      IADD R2, R1, 0x1
+      @P0 BRA start reconv=done  ; P0 is false: never taken
+    done:
+      EXIT
+    """)
+    assert prog.name == "demo"
+    assert prog.nregs == 8
+    assert prog[0].imm == 0x2A
+    assert prog[2].reconv_pc == 3
+
+    # assembled code actually runs
+    import numpy as np
+
+    from repro.gpusim import Device, DeviceConfig
+
+    dev = Device(DeviceConfig(global_mem_words=1 << 12))
+    dev.launch(prog, 1, 1)
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble("""
+    .kernel c nregs=4 shared=0
+      NOP        ; does nothing
+
+      EXIT       ; bye
+    """)
+    assert len(prog) == 2
+
+
+def test_bad_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel x nregs=4 shared=0\n  FDIV R1, R2, R3\n  EXIT\n")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel x nregs=4 shared=0\n  BRA nowhere\n  EXIT\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel x nregs=4 shared=0\na:\na:\n  EXIT\n")
+
+
+def test_setp_requires_suffix():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel x nregs=4 shared=0\n  ISETP P0, R1, R2\n  EXIT\n")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel x nregs=4 shared=0\n  GLD R1, R2\n  EXIT\n")

@@ -1,0 +1,50 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.charts import bar_chart, hbar, stacked_bar, stacked_chart
+
+
+class TestHbar:
+    def test_full_scale(self):
+        assert hbar(10, 10, width=5) == "#####"
+
+    def test_zero(self):
+        assert hbar(0, 10, width=5) == ""
+
+    def test_clamped(self):
+        assert hbar(20, 10, width=5) == "#####"
+
+    def test_zero_max(self):
+        assert hbar(5, 0) == ""
+
+
+class TestBarChart:
+    def test_labels_aligned(self):
+        text = bar_chart([("IOC", 50.0), ("IVRA", 100.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("IOC ")
+        assert "100.0%" in lines[1]
+
+    def test_empty(self):
+        assert bar_chart([]) == "(empty)"
+
+
+class TestStacked:
+    def test_width_exact(self):
+        bar = stacked_bar({"sdc": 30.0, "due": 50.0, "masked": 20.0},
+                          width=50)
+        body = bar[1:bar.index("]")]
+        assert len(body) == 50
+
+    def test_legend_present(self):
+        bar = stacked_bar({"sdc": 1.0, "due": 1.0})
+        assert "=sdc" in bar and "=due" in bar
+
+    def test_chart_rows(self):
+        text = stacked_chart([("WV", {"sdc": 90.0, "due": 10.0}),
+                              ("IVRA", {"sdc": 5.0, "due": 95.0})])
+        assert text.count("\n") == 1
+
+    def test_empty(self):
+        assert stacked_chart([]) == "(empty)"

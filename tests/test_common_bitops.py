@@ -1,0 +1,101 @@
+"""Unit + property tests for repro.common.bitops."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bitops
+
+
+class TestBitBasics:
+    def test_bit(self):
+        assert bitops.bit(0) == 1
+        assert bitops.bit(5) == 32
+
+    def test_bit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.bit(-1)
+
+    def test_get_set_clear_flip(self):
+        v = 0b1010
+        assert bitops.get_bit(v, 1) == 1
+        assert bitops.get_bit(v, 2) == 0
+        assert bitops.set_bit(v, 0) == 0b1011
+        assert bitops.clear_bit(v, 1) == 0b1000
+        assert bitops.flip_bit(v, 3) == 0b0010
+
+    def test_mask(self):
+        assert bitops.mask(0) == 0
+        assert bitops.mask(4) == 0xF
+        assert bitops.mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.mask(-2)
+
+    def test_popcount(self):
+        assert bitops.popcount(0) == 0
+        assert bitops.popcount(0xFF) == 8
+        with pytest.raises(ValueError):
+            bitops.popcount(-1)
+
+    def test_bits_set(self):
+        assert bitops.bits_set(0) == []
+        assert bitops.bits_set(0b1011) == [0, 1, 3]
+
+
+class TestFields:
+    def test_extract_insert_roundtrip(self):
+        w = 0xDEADBEEF
+        f = bitops.extract_field(w, 8, 8)
+        assert f == 0xBE
+        w2 = bitops.insert_field(w, 8, 8, 0x12)
+        assert bitops.extract_field(w2, 8, 8) == 0x12
+        # other bits untouched
+        assert w2 & ~(0xFF << 8) == w & ~(0xFF << 8)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 56), st.integers(1, 8),
+           st.integers(0, 255))
+    def test_insert_then_extract(self, word, lsb, width, value):
+        w2 = bitops.insert_field(word, lsb, width, value)
+        assert bitops.extract_field(w2, lsb, width) == value & bitops.mask(width)
+
+
+class TestFloatBits:
+    def test_known_values(self):
+        assert bitops.float_to_bits(1.0) == 0x3F800000
+        assert bitops.float_to_bits(-2.0) == 0xC0000000
+        assert bitops.bits_to_float(0x3F800000) == 1.0
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip(self, x):
+        assert bitops.bits_to_float(bitops.float_to_bits(x)) == x
+
+    def test_nan_roundtrip(self):
+        b = bitops.float_to_bits(float("nan"))
+        assert math.isnan(bitops.bits_to_float(b))
+
+
+class TestSignedHelpers:
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_s32_identity_in_range(self, x):
+        assert bitops.s32(bitops.u32(x)) == x
+
+    def test_u32_wraps(self):
+        assert bitops.u32(2**32 + 5) == 5
+        assert bitops.u32(-1) == 0xFFFFFFFF
+
+
+class TestViews:
+    def test_f32_u32_views_share_memory(self):
+        a = np.array([0x3F800000], dtype=np.uint32)
+        f = bitops.as_f32(a)
+        assert f[0] == 1.0
+        f[0] = 2.0
+        assert a[0] == 0x40000000
+        assert bitops.as_u32(f)[0] == 0x40000000

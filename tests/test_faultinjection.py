@@ -1,0 +1,119 @@
+"""Tests for the gate-level fault-injection campaign layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errormodels import ErrorModel, ErrorGroup, GROUP_OF
+from repro.faultinjection import CampaignConfig, GateCampaignResult, run_gate_campaign
+from repro.faultinjection.campaign import FaultRecord
+from repro.gatelevel.faults import StuckAtFault
+from repro.profiling import stimuli_from_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def stimuli():
+    w = get_workload("gemm", scale="tiny")
+    return stimuli_from_program(w.program())
+
+
+@pytest.fixture(scope="module")
+def wsc_result(stimuli):
+    return run_gate_campaign(
+        CampaignConfig(unit="wsc", max_faults=512, max_stimuli=16), stimuli
+    )
+
+
+@pytest.fixture(scope="module")
+def decoder_result(stimuli):
+    return run_gate_campaign(
+        CampaignConfig(unit="decoder", max_faults=512, max_stimuli=16), stimuli
+    )
+
+
+class TestCampaignMechanics:
+    def test_categories_partition_faults(self, wsc_result):
+        counts = wsc_result.category_counts()
+        assert sum(counts.values()) == wsc_result.total_faults
+        assert wsc_result.total_faults == 512
+
+    def test_rates_sum_to_100(self, wsc_result):
+        assert sum(wsc_result.category_rates().values()) == pytest.approx(100.0)
+
+    def test_all_categories_present(self, decoder_result):
+        counts = decoder_result.category_counts()
+        # Table 5 structure: every bucket is populated
+        assert counts["sw_error"] > 0
+        assert counts["masked"] > 0
+        assert counts["uncontrollable"] > 0
+        assert counts["hang"] > 0
+
+    def test_record_category_priority(self):
+        r = FaultRecord(StuckAtFault(0, 0))
+        assert r.category == "uncontrollable"
+        r.activated = True
+        assert r.category == "masked"
+        r.propagated = True
+        assert r.category == "sw_error"
+        r.hang = True
+        assert r.category == "hang"
+
+    def test_deterministic(self, stimuli):
+        cfg = CampaignConfig(unit="decoder", max_faults=128, max_stimuli=8)
+        a = run_gate_campaign(cfg, stimuli)
+        b = run_gate_campaign(cfg, stimuli)
+        assert a.category_counts() == b.category_counts()
+        assert a.fapr() == b.fapr()
+
+    def test_multiprocessing_matches_serial(self, stimuli):
+        cfg1 = CampaignConfig(unit="decoder", max_faults=256, max_stimuli=8,
+                              processes=1, words=2)
+        cfg2 = CampaignConfig(unit="decoder", max_faults=256, max_stimuli=8,
+                              processes=2, words=2)
+        a = run_gate_campaign(cfg1, stimuli)
+        b = run_gate_campaign(cfg2, stimuli)
+        assert a.category_counts() == b.category_counts()
+        assert a.faults_per_error() == b.faults_per_error()
+
+
+class TestPaperShapes:
+    """The qualitative results the paper reports for each unit."""
+
+    def test_wsc_dominated_by_parallel_management(self, wsc_result):
+        fapr = wsc_result.fapr()
+        par = sum(v for m, v in fapr.items()
+                  if GROUP_OF[m] is ErrorGroup.PARALLEL_MGMT)
+        other = sum(v for m, v in fapr.items()
+                    if GROUP_OF[m] is not ErrorGroup.PARALLEL_MGMT)
+        assert par > other  # paper: 54.87% of WSC error faults
+
+    def test_wsc_has_iat_and_iaw(self, wsc_result):
+        per = wsc_result.faults_per_error()
+        assert per.get(ErrorModel.IAT, 0) > 0
+        assert per.get(ErrorModel.IAW, 0) > 0
+
+    def test_decoder_widest_spectrum(self, wsc_result, decoder_result):
+        # paper: decoder produces the widest spectrum of error categories
+        assert len(decoder_result.faults_per_error()) >= \
+            len(wsc_result.faults_per_error())
+
+    def test_decoder_has_memory_models(self, decoder_result):
+        per = decoder_result.faults_per_error()
+        assert per.get(ErrorModel.IMS, 0) > 0
+        assert per.get(ErrorModel.IMD, 0) > 0
+
+    def test_hang_rate_small(self, wsc_result, decoder_result):
+        # paper: 1.2% .. 3.5% of faults hang the hardware
+        for res in (wsc_result, decoder_result):
+            assert res.category_rates()["hang"] < 15.0
+
+    def test_times_produced_at_least_faults(self, decoder_result):
+        per_fault = decoder_result.faults_per_error()
+        times = decoder_result.times_produced()
+        for m, n in per_fault.items():
+            assert times[m] >= n
+
+    def test_some_faults_multi_model(self, decoder_result):
+        # paper: a single permanent fault may produce several error types
+        assert decoder_result.multi_model_fault_fraction() > 0

@@ -1,0 +1,104 @@
+"""Tests for the gate-level INT unit and SFU datapaths (Table 2 sizes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatelevel import LogicSim, netlist_area
+from repro.gatelevel.fpu import build_fp32_core
+from repro.gatelevel.intunit import (
+    OP_ADD,
+    OP_MAD,
+    OP_MUL,
+    OP_SUB,
+    build_int_unit,
+    int_unit_model,
+)
+from repro.gatelevel.sfu import (
+    DEFAULT_COEFFS,
+    build_sfu,
+    run_sfu_eval,
+    sfu_model,
+)
+
+u32 = st.integers(0, 2**32 - 1)
+
+
+@pytest.fixture(scope="module")
+def int_sim():
+    return LogicSim(build_int_unit())
+
+
+@pytest.fixture(scope="module")
+def sfu_netlist():
+    return build_sfu()
+
+
+class TestIntUnit:
+    def _eval(self, sim, a, x, c, op):
+        out = sim.cycle({"a": a, "b": x, "c": c, "op": op})
+        return int(sim.lane_values(out["y"], 1)[0])
+
+    @given(u32, u32, u32, st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_model(self, int_sim, a, x, c, op):
+        assert self._eval(int_sim, a, x, c, op) == int_unit_model(a, x, c, op)
+
+    def test_known_values(self, int_sim):
+        assert self._eval(int_sim, 5, 7, 0, OP_ADD) == 12
+        assert self._eval(int_sim, 5, 7, 0, OP_SUB) == (5 - 7) & 0xFFFFFFFF
+        assert self._eval(int_sim, 5, 7, 0, OP_MUL) == 35
+        assert self._eval(int_sim, 5, 7, 3, OP_MAD) == 38
+        # the 16x16 array truncates the upper operand halves
+        assert self._eval(int_sim, 0x10005, 3, 0, OP_MUL) == 15
+
+    def test_mul_wraps_low32(self, int_sim):
+        got = self._eval(int_sim, 0xFFFF, 0xFFFF, 0, OP_MUL)
+        assert got == (0xFFFF * 0xFFFF) & 0xFFFFFFFF
+
+
+class TestSfu:
+    def test_matches_model(self, sfu_netlist):
+        sim = LogicSim(sfu_netlist)
+        for x in (0x0000, 0x4000, 0x8000, 0xC000, 0xFFFF):
+            y, lane, _ = run_sfu_eval(sim, x, lane=3)
+            assert y == sfu_model(x)
+            assert lane == 3
+
+    def test_back_to_back_evaluations(self, sfu_netlist):
+        # the unit is shared: evaluations are serialized by the FSM
+        sim = LogicSim(sfu_netlist)
+        y1, l1, c1 = run_sfu_eval(sim, 0x1234, lane=1)
+        y2, l2, c2 = run_sfu_eval(sim, 0x1234, lane=5)
+        assert y1 == y2  # same operand, same result
+        assert (l1, l2) == (1, 5)
+        assert c1 >= 3  # multi-cycle: this is why SFUs are shared
+
+    def test_busy_during_evaluation(self, sfu_netlist):
+        sim = LogicSim(sfu_netlist)
+        idle = {"start": 0, "x": 0, "lane_in": 0}
+        sim.cycle(dict(idle, start=1, x=0x100, lane_in=0))
+        out = sim.cycle(idle)
+        assert int(sim.lane_values(out["busy"], 1)[0]) == 1
+
+    def test_custom_coefficients(self):
+        coeffs = (1, 2, 3, 4)
+        sim = LogicSim(build_sfu(coeffs))
+        y, _, _ = run_sfu_eval(sim, 0x10000, lane=0)  # x = 1.0 in Q16.16
+        assert y == sfu_model(0x10000, coeffs)
+
+
+class TestModuleSizesTable2:
+    def test_fp32_more_than_3x_int(self):
+        # paper Table 2: the FP32 unit is >3x larger than the integer unit
+        fp = netlist_area(build_fp32_core())
+        it = netlist_area(build_int_unit())
+        assert fp > 2.0 * it
+
+    def test_sfu_between_int_and_fp32(self):
+        fp = netlist_area(build_fp32_core())
+        sfu = netlist_area(build_sfu())
+        assert sfu < fp

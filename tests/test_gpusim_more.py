@@ -1,0 +1,128 @@
+"""Additional executor coverage: nesting, encoding, hooks, tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig
+from repro.gpusim.executor import WARP_SIZE
+from repro.isa import CmpOp, KernelBuilder, Op, RZ
+from repro.workloads.kutil import elem_addr, global_tid_x
+
+
+class TestNestedControlFlow:
+    def test_nested_for_range(self, device):
+        # out[t] = sum_{i<t} sum_{j<i} 1 = t*(t-1)/2 pairs
+        n = 32
+        pout = device.alloc(n)
+        k = KernelBuilder("nest", nregs=24)
+        g = global_tid_x(k)
+        acc = k.mov32i_new(0)
+        i = k.reg()
+        j = k.reg()
+        with k.for_range(i, 0, g):
+            with k.for_range(j, 0, i):
+                k.iadd(acc, acc, imm=1)
+        k.gst(elem_addr(k, k.load_param(0), g), acc)
+        k.exit()
+        device.launch(k.build(), 1, n, params=[pout])
+        got = device.read(pout, n)
+        expected = [t * (t - 1) // 2 for t in range(n)]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_if_inside_loop(self, device):
+        # count odd numbers below tid
+        n = 32
+        pout = device.alloc(n)
+        k = KernelBuilder("ifloop", nregs=24)
+        g = global_tid_x(k)
+        acc = k.mov32i_new(0)
+        i = k.reg()
+        b = k.reg()
+        with k.for_range(i, 0, g):
+            k.and_(b, i, imm=1)
+            p = k.isetp_reg(b, RZ, CmpOp.NE)
+            with k.if_(p):
+                k.iadd(acc, acc, imm=1)
+            k._next_pred -= 1
+        k.gst(elem_addr(k, k.load_param(0), g), acc)
+        k.exit()
+        device.launch(k.build(), 1, n, params=[pout])
+        got = device.read(pout, n)
+        expected = [sum(1 for x in range(t) if x % 2) for t in range(n)]
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestProgramEncoding:
+    def test_encoded_matches_instruction_count(self):
+        from repro.workloads import get_workload
+
+        prog = get_workload("gemm", scale="tiny").program()
+        enc = prog.encoded()
+        assert len(enc) == len(prog)
+        assert all(0 <= e.word < 2**64 for e in enc)
+
+    def test_histogram_covers_all(self):
+        from repro.workloads import get_workload
+
+        prog = get_workload("mxm", scale="tiny").program()
+        h = prog.op_class_histogram()
+        assert sum(h.values()) == len(prog)
+
+
+class TestHookContext:
+    def test_override_exec_mask_enables_lanes(self, device):
+        # a hook forces a predicated-off store to execute on lane 0
+        n = 32
+        pout = device.alloc(n)
+        device.write(pout, np.full(n, 7, np.uint32))
+        k = KernelBuilder("hook", nregs=16)
+        g = global_tid_x(k)
+        p = k.pred()
+        k.isetp(p, g, imm=100, cmp=CmpOp.GE)  # always false
+        one = k.mov32i_new(1)
+        k.gst(elem_addr(k, k.load_param(0), g), one, pred=p)
+        k.exit()
+
+        class ForceLane0:
+            def before(self, ctx):
+                if ctx.instr.op is Op.GST:
+                    m = ctx.exec_mask.copy()
+                    m[0] = True
+                    ctx.override_exec_mask(m)
+
+            def after(self, ctx):
+                pass
+
+        device.launch(k.build(), 1, n, params=[pout],
+                      instrumentation=ForceLane0())
+        got = device.read(pout, n)
+        assert got[0] == 1
+        np.testing.assert_array_equal(got[1:], 7)
+
+    def test_trace_values_capture(self, device):
+        events = []
+
+        def trace(ev):
+            if ev.instr.op is Op.IADD:
+                events.append(ev)
+
+        k = KernelBuilder("tv", nregs=8)
+        a = k.mov32i_new(5)
+        b = k.mov32i_new(6)
+        c = k.reg()
+        k.iadd(c, a, b)
+        k.exit()
+        device.launch(k.build(), 1, 1, trace_fn=trace, trace_values=True)
+        assert len(events) == 1
+        assert events[0].src_values[0][0] == 5
+        assert events[0].result[0] == 11
+
+    def test_instructions_counted(self, device):
+        k = KernelBuilder("cnt", nregs=4)
+        k.nop()
+        k.nop()
+        k.exit()
+        res = device.launch(k.build(), 1, WARP_SIZE)
+        assert res.instructions_executed == 3

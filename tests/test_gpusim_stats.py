@@ -1,0 +1,59 @@
+"""Tests for the execution-statistics counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.stats import collect_stats
+from repro.isa.opcodes import Op, OpClass
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gemm_stats():
+    return collect_stats(get_workload("gemm", scale="tiny"))
+
+
+@pytest.fixture(scope="module")
+def vecadd_stats():
+    return collect_stats(get_workload("vectoradd", scale="tiny"))
+
+
+class TestExecutionStats:
+    def test_instruction_counts(self, gemm_stats):
+        assert gemm_stats.dynamic_instructions > 0
+        assert sum(gemm_stats.per_opcode.values()) == \
+            gemm_stats.dynamic_instructions
+
+    def test_gemm_uses_shared_memory(self, gemm_stats, vecadd_stats):
+        assert gemm_stats.shared_accesses > 0
+        assert vecadd_stats.shared_accesses == 0
+
+    def test_memory_counters(self, vecadd_stats):
+        # vectoradd: two loads and one store per element
+        assert vecadd_stats.global_loads == 2 * vecadd_stats.global_stores
+
+    def test_lane_occupancy_bounds(self, gemm_stats, vecadd_stats):
+        for s in (gemm_stats, vecadd_stats):
+            assert 0.0 < s.lane_occupancy <= 1.0
+
+    def test_fp32_fraction_sensible(self, gemm_stats):
+        frac = gemm_stats.class_fraction(OpClass.FP32)
+        assert 0.0 < frac < 0.5  # address math dominates a tiled GEMM
+
+    def test_divergence_detected_in_divergent_code(self):
+        s = collect_stats(get_workload("bfs", scale="tiny"))
+        assert s.divergence_rate > 0.0
+
+    def test_warps_counted(self, gemm_stats):
+        assert len(gemm_stats.warps_seen) >= 2
+
+    def test_summary_keys(self, gemm_stats):
+        summary = gemm_stats.summary()
+        assert summary["dynamic_instructions"] == \
+            gemm_stats.dynamic_instructions
+        assert {"lane_occupancy", "divergence_rate", "fp32_fraction"} <= \
+            set(summary)
+
+    def test_opcode_histogram_contains_ffma(self, gemm_stats):
+        assert gemm_stats.per_opcode[Op.FFMA] > 0

@@ -1,0 +1,66 @@
+"""End-to-end integration: the complete two-level methodology in one test,
+plus smoke runs of the shipped examples."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errormodels.models import SW_INJECTABLE
+from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.profiling import profile_workloads
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+from repro.workloads import get_workload
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+class TestTwoLevelPipeline:
+    """Steps 1-5 of the paper's method, chained."""
+
+    def test_full_flow(self):
+        # step 1: profiling
+        wls = [get_workload(n, scale="tiny")
+               for n in ("vector_add", "naive_mxm")]
+        prof = profile_workloads(wls, max_stimuli_per_workload=16)
+        assert prof.stimuli
+
+        # steps 2+3: gate-level campaign + classification
+        gate = run_gate_campaign(
+            CampaignConfig(unit="decoder", max_faults=256, max_stimuli=16),
+            prof.stimuli)
+        fapr = gate.fapr()
+        assert fapr
+
+        # the dominant software-injectable model feeds the next level
+        dominant = max((m for m in fapr if m in SW_INJECTABLE),
+                       key=lambda m: fapr[m])
+
+        # steps 4+5: software propagation of that model
+        epr = run_epr_campaign(SwCampaignConfig(
+            apps=("vectoradd",), models=(dominant,),
+            injections_per_model=5, scale="tiny"))
+        counts = epr.counts("vectoradd", dominant)
+        assert sum(counts.values()) == 5
+
+    def test_scales_are_consistent(self):
+        # the same pipeline runs at the "small" workload scale
+        w = get_workload("vectoradd", scale="small")
+        out = w.run_golden()
+        assert out.size == w.params["n"]
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "two_level_flow.py",
+])
+def test_example_scripts_run(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,230 @@
+"""Tests for the ISA: opcodes, instructions, encoding, builder, program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.exceptions import AssemblerError, IllegalInstructionError
+from repro.isa import (
+    CmpOp,
+    Instruction,
+    KernelBuilder,
+    MemSpace,
+    Op,
+    OPCODE_INFO,
+    PT,
+    RZ,
+    SpecialReg,
+    decode,
+    encode,
+)
+from repro.isa.encoding import EncodedInstruction
+from repro.isa.opcodes import OpClass, is_valid_opcode
+
+
+class TestOpcodes:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OPCODE_INFO
+
+    def test_opcode_space_is_sparse(self):
+        invalid = [c for c in range(256) if not is_valid_opcode(c)]
+        assert len(invalid) > 200  # IVOC needs room to land on
+
+    def test_mem_ops_marked(self):
+        for op in (Op.GLD, Op.GST, Op.LDS, Op.STS, Op.LDC):
+            assert OPCODE_INFO[op].is_mem
+
+    def test_setp_write_predicates(self):
+        assert OPCODE_INFO[Op.ISETP].writes_pred
+        assert OPCODE_INFO[Op.FSETP].writes_pred
+        assert not OPCODE_INFO[Op.ISETP].writes_reg
+
+    def test_class_partition(self):
+        classes = {OPCODE_INFO[op].op_class for op in Op}
+        assert classes == set(OpClass)
+
+
+class TestInstruction:
+    def test_operand_count_enforced(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Op.IADD, dst=0, srcs=(1,))  # needs 2
+
+    def test_imm_replaces_last_source(self):
+        i = Instruction(Op.IADD, dst=0, srcs=(1,), imm=5, use_imm=True)
+        assert i.use_imm
+        with pytest.raises(AssemblerError):
+            Instruction(Op.GLD, dst=0, srcs=(1,), use_imm=True)  # no imm form
+
+    def test_register_range_checked(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Op.MOV, dst=300, srcs=(0,))
+
+    def test_predicate_range_checked(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Op.NOP, pred=9)
+
+    def test_str_smoke(self):
+        s = str(Instruction(Op.IADD, dst=3, srcs=(1, 2), pred=2, pred_neg=True))
+        assert "IADD" in s and "@!P2" in s
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        i = Instruction(Op.IMAD, dst=4, srcs=(1, 2, 3), pred=2, pred_neg=True)
+        assert decode(encode(i)) == i
+
+    def test_roundtrip_imm(self):
+        i = Instruction(Op.FMUL, dst=9, srcs=(8,), imm=0x3F800000, use_imm=True)
+        assert decode(encode(i)) == i
+
+    def test_roundtrip_setp(self):
+        i = Instruction(Op.ISETP, srcs=(1, 2), pdst=3, aux=int(CmpOp.GE))
+        assert decode(encode(i)) == i
+
+    def test_roundtrip_mem(self):
+        i = Instruction(Op.STS, srcs=(1, 2), imm=64, aux=int(MemSpace.SHARED))
+        assert decode(encode(i)) == i
+
+    def test_invalid_opcode_raises(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(EncodedInstruction(word=0xEE, imm=0))
+
+    @given(st.sampled_from(list(Op)), st.integers(0, 254), st.integers(0, 254),
+           st.integers(0, 254), st.integers(0, 254), st.integers(0, 2**32 - 1),
+           st.integers(0, 7), st.booleans())
+    def test_roundtrip_property(self, op, dst, s0, s1, s2, imm, pred, neg):
+        info = OPCODE_INFO[op]
+        srcs = (s0, s1, s2)[: info.num_srcs]
+        i = Instruction(op, dst=dst, srcs=srcs, imm=imm, pred=pred, pred_neg=neg)
+        d = decode(encode(i))
+        assert d.op == i.op and d.dst == i.dst and d.srcs == i.srcs
+        assert d.imm == i.imm and d.pred == i.pred and d.pred_neg == i.pred_neg
+
+
+class TestBuilder:
+    def test_simple_program(self):
+        k = KernelBuilder("t", nregs=8)
+        a = k.mov32i_new(41)
+        k.iadd(a, a, imm=1)
+        k.exit()
+        p = k.build()
+        assert len(p) == 3
+        assert p[0].op is Op.MOV32I
+
+    def test_register_exhaustion(self):
+        k = KernelBuilder("t", nregs=2)
+        k.reg(), k.reg()
+        with pytest.raises(AssemblerError):
+            k.reg()
+
+    def test_missing_exit_rejected(self):
+        k = KernelBuilder("t", nregs=4)
+        k.nop()
+        with pytest.raises(AssemblerError):
+            k.build()
+
+    def test_undefined_label_rejected(self):
+        k = KernelBuilder("t", nregs=4)
+        k.bra("nowhere")
+        k.exit()
+        with pytest.raises(AssemblerError):
+            k.build()
+
+    def test_duplicate_label_rejected(self):
+        k = KernelBuilder("t", nregs=4)
+        k.label("x")
+        with pytest.raises(AssemblerError):
+            k.label("x")
+
+    def test_if_annotates_reconvergence(self):
+        k = KernelBuilder("t", nregs=4)
+        p = k.pred()
+        with k.if_(p):
+            k.nop()
+        k.exit()
+        prog = k.build()
+        bra = prog[0]
+        assert bra.op is Op.BRA
+        assert bra.reconv_pc == bra.imm  # skips to endif == reconv point
+
+    def test_if_else_structure(self):
+        k = KernelBuilder("t", nregs=4)
+        p = k.pred()
+        with k.if_else(p) as orelse:
+            k.mov32i(0, 1)
+            orelse()
+            k.mov32i(0, 2)
+        k.exit()
+        prog = k.build()
+        assert prog[0].op is Op.BRA and prog[0].reconv_pc is not None
+
+    def test_if_else_requires_else(self):
+        k = KernelBuilder("t", nregs=4)
+        p = k.pred()
+        with pytest.raises(AssemblerError):
+            with k.if_else(p):
+                k.nop()
+
+    def test_loop_break_has_reconv(self):
+        k = KernelBuilder("t", nregs=4)
+        i = k.mov32i_new(0)
+        n = k.mov32i_new(4)
+        with k.loop() as lp:
+            pr = k.isetp_reg(i, n, CmpOp.GE)
+            lp.break_if(pr)
+            k.iadd(i, i, imm=1)
+        k.exit()
+        prog = k.build()
+        breaks = [x for x in prog.instructions
+                  if x.op is Op.BRA and x.reconv_pc is not None]
+        assert len(breaks) == 1
+        assert breaks[0].reconv_pc == breaks[0].imm
+
+    def test_branch_targets_validated(self):
+        k = KernelBuilder("t", nregs=4)
+        lbl = k.label()
+        k.bra(lbl)  # infinite loop, but structurally valid
+        k.exit()
+        prog = k.build()
+        assert prog[0].imm == 0
+
+    def test_build_twice_rejected(self):
+        k = KernelBuilder("t", nregs=4)
+        k.exit()
+        k.build()
+        with pytest.raises(AssemblerError):
+            k.build()
+
+    def test_listing_smoke(self):
+        k = KernelBuilder("t", nregs=4)
+        k.label("start")
+        k.exit()
+        assert "start:" in k.build().listing()
+
+    def test_op_class_histogram(self):
+        k = KernelBuilder("t", nregs=8)
+        k.fadd(0, 1, 2)
+        k.iadd(0, 1, 2)
+        k.exit()
+        h = k.build().op_class_histogram()
+        assert h[OpClass.FP32] == 1 and h[OpClass.INT] == 1 and h[OpClass.CTRL] == 1
+
+
+class TestManual:
+    def test_manual_covers_every_opcode(self):
+        from repro.isa.manual import isa_manual
+
+        text = isa_manual()
+        for op in Op:
+            assert f"| {op.name} " in text, op
+
+    def test_docs_file_in_sync(self):
+        from pathlib import Path
+
+        from repro.isa.manual import isa_manual
+
+        p = Path(__file__).parent.parent / "docs" / "ISA.md"
+        assert p.read_text() == isa_manual()

@@ -1,0 +1,104 @@
+"""Tests for the RTL characterization programs: micro-benchmarks and t-MxM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig
+from repro.workloads.microbench import (
+    ARITH_FP,
+    ARITH_INT,
+    INPUT_RANGES,
+    MICROBENCH_NAMES,
+    NTHREADS,
+    build_microbench,
+)
+from repro.workloads.tmxm import TILE, TILE_TYPES, TMxM, make_tile
+
+
+def _dev():
+    return Device(DeviceConfig(global_mem_words=1 << 16))
+
+
+class TestMicrobench:
+    @pytest.mark.parametrize("name", MICROBENCH_NAMES)
+    @pytest.mark.parametrize("rng_name", sorted(INPUT_RANGES))
+    def test_runs(self, name, rng_name):
+        mb = build_microbench(name, rng_name)
+        out = mb.run_golden(_dev())
+        assert out.size == NTHREADS
+
+    def test_fadd_values(self):
+        mb = build_microbench("FADD", "M")
+        a = mb.inputs["in0"].view(np.float32)
+        b = mb.inputs["in1"].view(np.float32)
+        got = mb.run_golden(_dev()).view(np.float32)
+        np.testing.assert_array_equal(got, a + b)
+
+    def test_imad_values(self):
+        mb = build_microbench("IMAD", "S")
+        a, b, c = (mb.inputs[f"in{i}"].astype(np.uint64) for i in range(3))
+        got = mb.run_golden(_dev())
+        np.testing.assert_array_equal(got, ((a * b + c) & 0xFFFFFFFF).astype(np.uint32))
+
+    def test_fsin_range_constrained(self):
+        mb = build_microbench("FSIN", "M")
+        x = mb.inputs["in0"].view(np.float32)
+        assert np.all((x >= 0) & (x <= np.pi / 2))
+        got = mb.run_golden(_dev()).view(np.float32)
+        np.testing.assert_allclose(got, np.sin(x), rtol=1e-6)
+
+    def test_bra_branches_both_ways(self):
+        mb = build_microbench("BRA", "M")
+        a = mb.inputs["in0"].view(np.int32)
+        b = mb.inputs["in1"].view(np.int32)
+        got = mb.run_golden(_dev()).view(np.int32)
+        expected = np.where(a > b, 0x11 + 0x22, 0x11 - 0x22)
+        np.testing.assert_array_equal(got, expected)
+        assert len(np.unique(got)) == 2  # the branch actually diverges
+
+    def test_input_ranges_respected(self):
+        for rname, (lo, hi) in INPUT_RANGES.items():
+            mb = build_microbench("FMUL", rname)
+            x = mb.inputs["in0"].view(np.float32)
+            assert np.all((x >= np.float32(lo) * 0.999) & (x <= np.float32(hi) * 1.001))
+
+    def test_distinct_value_indices_differ(self):
+        a = build_microbench("FADD", "M", value_index=0).inputs["in0"]
+        b = build_microbench("FADD", "M", value_index=1).inputs["in0"]
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_microbench("FDIV")
+
+    def test_uses_two_warps(self):
+        assert NTHREADS == 64
+
+
+class TestTMxM:
+    @pytest.mark.parametrize("tt", TILE_TYPES)
+    def test_matches_reference(self, tt):
+        t = TMxM.create(tt)
+        got = t.run_golden(_dev()).view(np.float32)
+        np.testing.assert_array_equal(got, t.reference().ravel())
+
+    def test_zero_tile_has_more_zeros_than_max_tile(self):
+        z = make_tile("zero")
+        m = make_tile("max")
+        assert (z == 0).sum() > (m == 0).sum()
+        assert m.sum() > z.sum()
+
+    def test_tiles_are_8x8(self):
+        for tt in TILE_TYPES:
+            assert make_tile(tt).shape == (TILE, TILE)
+
+    def test_unknown_tile_type_rejected(self):
+        with pytest.raises(KeyError):
+            make_tile("median")
+
+    def test_value_index_varies_tiles(self):
+        a = make_tile("random", value_index=0)
+        b = make_tile("random", value_index=1)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,30 @@
+"""Mixed-mode co-simulation: the gate netlists track the functional GPU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gatelevel.mixed import cosimulate
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("unit", ["decoder", "fetch"])
+@pytest.mark.parametrize("app", ["vectoradd", "gemm", "mergesort"])
+def test_gate_unit_consistent_with_architectural_stream(unit, app):
+    w = get_workload(app, scale="tiny")
+    res = cosimulate(w, unit=unit, max_events=60)
+    assert res.events_checked > 0
+    assert res.consistent, res.mismatches[:5]
+
+
+def test_signal_trace_collected():
+    w = get_workload("vectoradd", scale="tiny")
+    res = cosimulate(w, unit="decoder", max_events=20)
+    assert len(res.signal_trace) == res.events_checked
+    assert "opcode" in res.signal_trace[0]
+
+
+def test_unknown_unit_rejected():
+    w = get_workload("vectoradd", scale="tiny")
+    with pytest.raises(KeyError):
+        cosimulate(w, unit="wsc")

@@ -1,0 +1,58 @@
+"""Tests for the hardware-profiling step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gatelevel.units.base import Stimulus
+from repro.isa.opcodes import OpClass
+from repro.profiling import profile_workloads, stimuli_from_program, utilization_table
+from repro.profiling.profiler import PROFILING_NAMES
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    wls = [get_workload(n, scale="tiny") for n in ("vector_add", "naive_mxm",
+                                                   "sort")]
+    return profile_workloads(wls, max_stimuli_per_workload=20)
+
+
+class TestProfiler:
+    def test_fourteen_profiling_workloads_exist(self):
+        assert len(PROFILING_NAMES) == 14
+        for n in PROFILING_NAMES:
+            get_workload(n, scale="tiny")  # must instantiate
+
+    def test_collects_stimuli(self, small_profile):
+        assert len(small_profile.stimuli) > 0
+        assert all(isinstance(s, Stimulus) for s in small_profile.stimuli)
+
+    def test_respects_cap(self, small_profile):
+        assert len(small_profile.stimuli) <= 3 * 20
+
+    def test_dynamic_counts(self, small_profile):
+        assert small_profile.total_dynamic > 0
+        assert sum(small_profile.per_workload_dynamic.values()) == \
+            small_profile.total_dynamic
+
+    def test_fp32_utilization_between_control_units(self, small_profile):
+        table = utilization_table(small_profile)
+        assert table["WSC"] == table["Fetch"] == table["Decoder"] == 100.0
+        assert 0.0 < table["FP32 unit"] < 100.0
+
+    def test_stimuli_have_valid_coordinates(self, small_profile):
+        for s in small_profile.stimuli[:100]:
+            assert 0 <= s.warp_id < 16
+            assert 0 <= s.cta_id < 16
+            assert 0 <= s.thread_mask <= 0xFFFFFFFF
+        # most dynamic instructions execute on at least one lane
+        # (fully predicated-off instructions legitimately have mask 0)
+        nonzero = sum(1 for s in small_profile.stimuli if s.thread_mask)
+        assert nonzero > len(small_profile.stimuli) // 2
+
+    def test_static_stimuli_from_program(self):
+        w = get_workload("vectoradd", scale="tiny")
+        stimuli = stimuli_from_program(w.program())
+        assert len(stimuli) == len(w.program())
+        assert stimuli[0].pc == 0

@@ -1,0 +1,140 @@
+"""Tests for power-law fitting/sampling, spatial patterns and stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ConfigError
+from repro.syndrome import (
+    SpatialPattern,
+    classify_pattern,
+    fit_power_law,
+    is_gaussian,
+    log_histogram,
+    sample_power_law,
+    syndrome_summary,
+)
+from repro.syndrome.patterns import pattern_histogram
+
+
+class TestPowerLaw:
+    def test_fit_recovers_alpha(self):
+        data = sample_power_law(alpha=2.5, x_min=1e-4, n=4000, seed=1)
+        fit = fit_power_law(data)
+        assert 2.2 < fit.alpha < 2.8
+        assert fit.x_min <= np.quantile(data, 0.5)
+
+    @given(st.floats(1.6, 4.0), st.sampled_from([1e-6, 1e-3, 1.0]))
+    @settings(max_examples=10, deadline=None)
+    def test_fit_roundtrip_property(self, alpha, x_min):
+        data = sample_power_law(alpha, x_min, 3000, seed=7)
+        fit = fit_power_law(data)
+        assert abs(fit.alpha - alpha) < 0.6
+
+    def test_sampler_eq1_formula(self):
+        # Eq (1): x = x_min (1-r)^(-1/(alpha-1)) => all samples >= x_min
+        s = sample_power_law(2.0, 0.5, 1000, seed=3)
+        assert np.all(s >= 0.5)
+
+    def test_sampler_deterministic(self):
+        a = sample_power_law(2.0, 1.0, 100, seed=5)
+        b = sample_power_law(2.0, 1.0, 100, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampler_validation(self):
+        with pytest.raises(ConfigError):
+            sample_power_law(0.9, 1.0, 10)
+        with pytest.raises(ConfigError):
+            sample_power_law(2.0, -1.0, 10)
+
+    def test_fit_requires_data(self):
+        with pytest.raises(ConfigError):
+            fit_power_law(np.array([1.0, 2.0]))
+
+    def test_fit_object_can_sample(self):
+        fit = fit_power_law(sample_power_law(2.2, 1e-3, 2000, seed=2))
+        out = fit.sample(50, seed=9)
+        assert out.shape == (50,)
+        assert np.all(out >= fit.x_min)
+
+
+class TestSpatialPatterns:
+    SHAPE = (8, 8)
+
+    def _idx(self, pairs):
+        return np.array([r * 8 + c for r, c in pairs])
+
+    def test_single(self):
+        assert classify_pattern(self._idx([(3, 4)]), self.SHAPE) is \
+            SpatialPattern.SINGLE
+
+    def test_row(self):
+        idx = self._idx([(2, c) for c in range(8)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.ROW
+
+    def test_col(self):
+        idx = self._idx([(r, 5) for r in range(8)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.COL
+
+    def test_partial_line_is_random(self):
+        idx = self._idx([(2, 1), (2, 6)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.RANDOM
+
+    def test_row_plus_col(self):
+        idx = self._idx([(2, c) for c in range(8)] + [(r, 5) for r in range(8)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.ROW_COL
+
+    def test_block(self):
+        idx = self._idx([(r, c) for r in range(2, 5) for c in range(3, 6)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.BLOCK
+
+    def test_all(self):
+        idx = np.arange(60)
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.ALL
+
+    def test_random(self):
+        idx = self._idx([(0, 0), (3, 7), (6, 2), (7, 5)])
+        assert classify_pattern(idx, self.SHAPE) is SpatialPattern.RANDOM
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_pattern(np.array([]), self.SHAPE)
+
+    def test_histogram_excludes_single(self):
+        h = pattern_histogram([SpatialPattern.SINGLE, SpatialPattern.ROW,
+                               SpatialPattern.ROW])
+        assert h[SpatialPattern.ROW] == 100.0
+
+    def test_histogram_sums_to_100(self):
+        h = pattern_histogram([SpatialPattern.ROW, SpatialPattern.BLOCK,
+                               SpatialPattern.ALL, SpatialPattern.RANDOM])
+        assert sum(h.values()) == pytest.approx(100.0)
+
+
+class TestStats:
+    def test_gaussian_detected(self, rng):
+        assert is_gaussian(rng.normal(size=500))
+
+    def test_powerlaw_not_gaussian(self):
+        data = sample_power_law(2.0, 1.0, 500, seed=1)
+        assert not is_gaussian(data)
+
+    def test_log_histogram_sums_to_100(self, rng):
+        rel = 10.0 ** rng.uniform(-9, 3, size=1000)
+        h = log_histogram(rel)
+        assert sum(h.values()) == pytest.approx(100.0)
+        assert "<1e-8" in h and ">=1e2" in h
+
+    def test_summary(self):
+        data = sample_power_law(2.5, 1e-4, 1000, seed=4)
+        s = syndrome_summary(data)
+        assert s.n == 1000
+        assert s.p10 <= s.median <= s.p90
+        assert not s.gaussian
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            syndrome_summary(np.array([]))

@@ -1,0 +1,136 @@
+"""Correctness of every workload against a host reference.
+
+The simulator is bit-deterministic, so workloads that provide a
+``reference()`` mirroring the kernel's float32 operation order must match
+bit-exactly; the rest are checked for structural properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import EVALUATION_APPS, PROFILING_WORKLOADS, get_workload
+from repro.workloads.base import default_launcher
+from repro.gpusim import Device, DeviceConfig
+
+
+def _run(w):
+    dev = Device(DeviceConfig(global_mem_words=1 << 20))
+    return w.run(dev, default_launcher(dev))
+
+
+EXACT_REFERENCE_APPS = [
+    "mxm", "gemm", "hotspot", "gaussian", "bfs", "lud", "accl", "nw",
+    "cfd", "quicksort", "mergesort", "lenet", "yolov3",
+]
+
+
+class TestEvaluationApps:
+    @pytest.mark.parametrize("name", sorted(EVALUATION_APPS))
+    def test_runs_and_is_deterministic(self, name):
+        w = get_workload(name, scale="tiny")
+        out1 = _run(w)
+        out2 = _run(w)
+        assert out1.dtype == np.uint32
+        assert out1.size > 0
+        np.testing.assert_array_equal(out1, out2)
+
+    @pytest.mark.parametrize("name", EXACT_REFERENCE_APPS)
+    def test_matches_host_reference(self, name):
+        w = get_workload(name, scale="tiny")
+        got = _run(w)
+        ref = w.reference()
+        ref_bits = np.ascontiguousarray(ref).view(np.uint32).ravel()
+        np.testing.assert_array_equal(got, ref_bits, err_msg=name)
+
+    def test_vectoradd_values(self):
+        w = get_workload("vectoradd", scale="tiny")
+        got = _run(w).view(np.float32)
+        np.testing.assert_array_equal(got, w.a + w.b)
+
+    def test_lava_forces_finite_and_nontrivial(self):
+        w = get_workload("lava", scale="tiny")
+        f = _run(w).view(np.float32)
+        assert np.all(np.isfinite(f))
+        assert np.any(f != 0)
+
+    def test_bfs_costs_match_networkx_distances(self):
+        pytest.importorskip("networkx")
+        import networkx as nx
+
+        w = get_workload("bfs", scale="tiny")
+        got = _run(w).view(np.int32)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(w.params["n"]))
+        for u in range(w.params["n"]):
+            for e in range(w.offsets[u], w.offsets[u + 1]):
+                g.add_edge(u, int(w.edges[e]))
+        dist = nx.single_source_shortest_path_length(g, w.source)
+        for v in range(w.params["n"]):
+            assert got[v] == dist.get(v, -1)
+
+    def test_sorts_actually_sort(self):
+        for name in ("quicksort", "mergesort"):
+            w = get_workload(name, scale="tiny")
+            got = _run(w).view(np.int32)
+            np.testing.assert_array_equal(got, np.sort(w.data), err_msg=name)
+
+    def test_scales_differ(self):
+        tiny = get_workload("gemm", scale="tiny")
+        small = get_workload("gemm", scale="small")
+        assert tiny.params["n"] < small.params["n"]
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("gemm", scale="galactic")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_seed_changes_data(self):
+        w1 = get_workload("vectoradd", scale="tiny", seed=1)
+        w2 = get_workload("vectoradd", scale="tiny", seed=2)
+        assert not np.array_equal(w1.a, w2.a)
+
+    def test_metadata_table1(self):
+        # Table 1 invariants: suites and datatypes as published
+        meta = {n: cls.meta for n, cls in EVALUATION_APPS.items()}
+        assert meta["bfs"].data_type == "INT32"
+        assert meta["lenet"].suite == "Darknet"
+        assert meta["accl"].suite == "NUPAR"
+        assert sum(m.data_type == "INT32" for m in meta.values()) == 5
+        assert len(meta) == 15
+
+
+PROFILING_EXACT = [
+    "reduction", "svmul", "gray_filter", "sobel", "nn", "scan_3d",
+    "transpose", "backprop", "fft",
+]
+
+
+class TestProfilingSuite:
+    def test_has_14_workloads(self):
+        assert len(PROFILING_WORKLOADS) == 14
+
+    @pytest.mark.parametrize("name", PROFILING_EXACT)
+    def test_matches_reference(self, name):
+        w = get_workload(name, scale="tiny")
+        got = _run(w)
+        ref_bits = np.ascontiguousarray(w.reference()).view(np.uint32).ravel()
+        np.testing.assert_array_equal(got, ref_bits, err_msg=name)
+
+    def test_fft_matches_numpy_fft(self):
+        w = get_workload("fft", scale="small")
+        out = _run(w).view(np.float32)
+        n = w.params["n"]
+        spec = np.fft.fft(w.re.astype(np.float64) + 1j * w.im.astype(np.float64))
+        np.testing.assert_allclose(out[:n], spec.real, atol=1e-3)
+        np.testing.assert_allclose(out[n:], spec.imag, atol=1e-3)
+
+    def test_transpose_is_involution(self):
+        w = get_workload("transpose", scale="tiny")
+        n = w.params["n"]
+        got = _run(w).view(np.float32).reshape(n, n)
+        np.testing.assert_array_equal(got.T, w.a)
