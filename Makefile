@@ -2,13 +2,20 @@
 
 PY ?= python
 
-.PHONY: install test bench report report-small claims docs examples clean
+.PHONY: install test campaign-smoke bench report report-small claims docs examples clean
 
 install:
 	pip install -e .[test]
 
 test:
-	$(PY) -m pytest tests/ -q
+	PYTHONPATH=src $(PY) -m pytest tests/ -q
+	$(MAKE) campaign-smoke
+
+# End-to-end campaign-engine self-test: run a tiny resumable EPR campaign,
+# simulate an interrupt, resume it, and verify the counts match an
+# uninterrupted run (and that the golden-run cache hit rate exceeds 90%).
+campaign-smoke:
+	PYTHONPATH=src $(PY) -m repro.campaign smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,262 @@
+"""CLI: run, resume and inspect fault-injection campaigns.
+
+Examples::
+
+    python -m repro.campaign run --kind epr --scale tiny --dir runs/epr
+    python -m repro.campaign run --scale tiny --interrupt-after 8 --dir runs/x
+    python -m repro.campaign resume --dir runs/x
+    python -m repro.campaign status --dir runs/x
+    python -m repro.campaign smoke          # run -> interrupt -> resume -> verify
+
+``run`` creates (or continues) a campaign directory holding a manifest and
+an append-only ``results.jsonl``; ``resume`` rebuilds the plan from the
+manifest and executes only the missing work units. ``smoke`` is the
+self-test wired into ``make campaign-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign.engine import EngineConfig, execute
+from repro.campaign.plans import KINDS, get_spec
+from repro.campaign.store import CampaignStore
+from repro.campaign.telemetry import Telemetry
+from repro.common.exceptions import ConfigError, ReproError
+
+
+def _engine_options(args, max_units=None) -> EngineConfig:
+    processes = 1 if getattr(args, "serial", False) else (args.processes or 0)
+    return EngineConfig(processes=processes,
+                        fail_fast=getattr(args, "fail_fast", False),
+                        max_units=max_units)
+
+
+def _config_overrides(args) -> dict:
+    over = {
+        "scale": getattr(args, "scale", None),
+        "seed": getattr(args, "seed", None),
+    }
+    if getattr(args, "apps", None):
+        over["apps"] = [a.strip() for a in args.apps.split(",") if a.strip()]
+    if getattr(args, "models", None):
+        over["models"] = [m.strip().upper()
+                         for m in args.models.split(",") if m.strip()]
+    if getattr(args, "injections", None):
+        over["injections_per_model"] = args.injections
+    if getattr(args, "chunk", None):
+        over["chunk"] = args.chunk
+    if getattr(args, "unit", None):
+        over["unit"] = args.unit
+    if getattr(args, "max_faults", None) is not None:
+        over["max_faults"] = args.max_faults or None
+    if getattr(args, "max_stimuli", None):
+        over["max_stimuli"] = args.max_stimuli
+    return over
+
+
+def _execute_plan(spec, plan, store: CampaignStore, options: EngineConfig,
+                  quiet: bool = False) -> dict:
+    telemetry = Telemetry(progress=None if quiet else print)
+    telemetry.note_warm(*plan.warm_stats)
+    if not store.manifest_path.exists():
+        store.write_manifest(plan.kind, plan.config, len(plan.units), extra={
+            "golden_warm": {"hits": plan.warm_stats[0],
+                            "misses": plan.warm_stats[1]}})
+    else:
+        store.check_fingerprint(plan.kind, plan.config)
+    executed = execute(plan.units, options, context=plan.context,
+                       store=store, telemetry=telemetry)
+    status = store.status()
+    if not quiet:
+        print(telemetry.progress_line())
+        print(json.dumps(status, indent=2))
+        if status["complete"]:
+            result = spec.aggregate(plan.config, store.load_results())
+            print(json.dumps(spec.summarize(result), indent=2))
+    return status
+
+
+def cmd_run(args) -> int:
+    spec = get_spec(args.kind)
+    config = spec.default_config(**_config_overrides(args))
+    store = CampaignStore(args.dir)
+    plan = spec.build(config)
+    print(f"campaign {args.kind}: {len(plan.units)} work units "
+          f"-> {store.directory}")
+    _execute_plan(spec, plan, store,
+                  _engine_options(args, max_units=args.interrupt_after))
+    return 0
+
+
+def cmd_resume(args) -> int:
+    store = CampaignStore(args.dir)
+    manifest = store.load_manifest()
+    spec = get_spec(manifest["kind"])
+    plan = spec.build(manifest["config"])
+    pending = manifest["total_units"] - len(store.completed_ids())
+    print(f"resuming {manifest['kind']} campaign in {store.directory}: "
+          f"{pending} of {manifest['total_units']} units pending")
+    _execute_plan(spec, plan, store, _engine_options(args))
+    return 0
+
+
+def cmd_status(args) -> int:
+    store = CampaignStore(args.dir)
+    status = store.status()
+    print(json.dumps(status, indent=2))
+    if status["complete"]:
+        manifest = store.load_manifest()
+        spec = get_spec(manifest["kind"])
+        result = spec.aggregate(manifest["config"], store.load_results())
+        print(json.dumps(spec.summarize(result), indent=2))
+    return 0
+
+
+def cmd_smoke(args) -> int:
+    """End-to-end resumability self-test (run -> interrupt -> resume).
+
+    Verifies the three engine guarantees: an interrupted + resumed
+    campaign equals an uninterrupted one, worker count does not change
+    results, and the golden-run cache absorbs >90% of reference runs.
+    """
+    spec = get_spec("epr")
+    config = spec.default_config(
+        apps=["vectoradd", "gemm"], models=["WV", "IIO", "IAT"],
+        injections_per_model=8, chunk=2, scale="tiny")
+    base = Path(args.dir) if args.dir else Path(
+        tempfile.mkdtemp(prefix="campaign-smoke-"))
+    failures: list[str] = []
+    try:
+        store = CampaignStore(base / "interrupted")
+        plan = spec.build(config)
+        total = len(plan.units)
+        cut = max(1, total // 3)
+        print(f"smoke: {total} units; interrupting after {cut}")
+
+        # phase 1: serial run, simulated interrupt after `cut` units
+        status = _execute_plan(spec, plan, store,
+                               EngineConfig(processes=1, max_units=cut),
+                               quiet=True)
+        if status["complete"] or status["completed_units"] != cut:
+            failures.append(
+                f"interrupted run should stop at {cut} units, "
+                f"got {status['completed_units']}")
+
+        # phase 2: resume on a pool; engine skips the completed units
+        status = _execute_plan(spec, plan, store,
+                               EngineConfig(processes=2), quiet=True)
+        if not status["complete"]:
+            failures.append(f"resume left campaign incomplete: {status}")
+        resumed = spec.aggregate(plan.config, store.load_results())
+
+        # reference: uninterrupted in-memory run on a pool
+        fresh_results = execute(plan.units, EngineConfig(processes=2))
+        fresh = spec.aggregate(plan.config, fresh_results)
+
+        for app in config["apps"]:
+            for model in resumed.config.models:
+                a = resumed.counts(app, model)
+                b = fresh.counts(app, model)
+                if a != b:
+                    failures.append(
+                        f"EPR mismatch for ({app}, {model.value}): "
+                        f"resumed={a} fresh={b}")
+        if resumed.overall_epr() != fresh.overall_epr():
+            failures.append("overall EPR differs between resumed and fresh")
+
+        rate = status["cache_hit_rate"]
+        if rate <= 0.9:
+            failures.append(f"golden cache hit rate {rate} <= 0.9")
+        print(f"smoke: {status['completed_units']}/{status['total_units']} "
+              f"units, {status['items']} injections, cache hit rate {rate}, "
+              f"overall EPR {resumed.overall_epr():.1f}%")
+    finally:
+        if not args.keep and not args.dir:
+            shutil.rmtree(base, ignore_errors=True)
+    if failures:
+        for f in failures:
+            print(f"SMOKE FAIL: {f}", file=sys.stderr)
+        return 1
+    print("campaign smoke: OK (interrupt -> resume == fresh; cache > 90%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.campaign",
+        description="Unified fault-injection campaign engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start (or continue) a campaign")
+    run.add_argument("--kind", default="epr", choices=sorted(KINDS))
+    run.add_argument("--dir", default=None,
+                     help="campaign directory (default .campaigns/<kind>)")
+    run.add_argument("--scale", default="tiny",
+                     choices=["tiny", "small", "paper"])
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--processes", type=int, default=None,
+                     help="worker processes (default min(cores, 8); "
+                          "env REPRO_PROCESSES overrides)")
+    run.add_argument("--serial", action="store_true",
+                     help="force serial execution")
+    run.add_argument("--fail-fast", action="store_true",
+                     help="re-raise the first worker crash with its "
+                          "traceback instead of retrying/recording it")
+    run.add_argument("--interrupt-after", type=int, default=None,
+                     metavar="N", help="stop after N units (simulated "
+                     "interruption; finish later with `resume`)")
+    # epr knobs
+    run.add_argument("--apps", help="comma-separated app names (epr)")
+    run.add_argument("--models", help="comma-separated error models (epr)")
+    run.add_argument("--injections", type=int,
+                     help="injections per (app, model) (epr)")
+    run.add_argument("--chunk", type=int,
+                     help="injections per work unit (epr)")
+    # gate knobs
+    run.add_argument("--unit", choices=["wsc", "fetch", "decoder"],
+                     help="target unit (gate)")
+    run.add_argument("--max-faults", type=int,
+                     help="sampled fault-list size; 0 = exhaustive (gate)")
+    run.add_argument("--max-stimuli", type=int, help="stimulus cap (gate)")
+    run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser("resume", help="finish an interrupted campaign")
+    resume.add_argument("--dir", required=True)
+    resume.add_argument("--processes", type=int, default=None)
+    resume.add_argument("--serial", action="store_true")
+    resume.add_argument("--fail-fast", action="store_true")
+    resume.set_defaults(func=cmd_resume)
+
+    status = sub.add_parser("status", help="inspect a campaign directory")
+    status.add_argument("--dir", required=True)
+    status.set_defaults(func=cmd_status)
+
+    smoke = sub.add_parser(
+        "smoke", help="end-to-end resumability self-test (make campaign-smoke)")
+    smoke.add_argument("--dir", default=None,
+                       help="working directory (default: a fresh temp dir)")
+    smoke.add_argument("--keep", action="store_true",
+                       help="keep the working directory afterwards")
+    smoke.set_defaults(func=cmd_smoke)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "dir", None) is None and args.command == "run":
+        args.dir = str(Path(".campaigns") / args.kind)
+    try:
+        return args.func(args)
+    except (ConfigError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

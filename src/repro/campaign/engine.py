@@ -1,0 +1,320 @@
+"""Campaign execution engine: deterministic work units, fault-tolerant pool.
+
+A campaign is a list of :class:`WorkUnit`\\ s. Each unit is executed by the
+runner registered for its ``kind`` (see :func:`register_runner`) and yields
+a JSON-serializable result dict. Units are independent and individually
+seeded (every random stream derives from the campaign seed plus the unit's
+stable identity via :func:`repro.common.rng.derive_seed`), so the engine is
+free to schedule them on any number of workers — serially, or on a
+``fork`` process pool — and the aggregated campaign result is identical.
+
+The executor is deliberately fault-tolerant tooling *for* a fault-injection
+tool: per-unit timeouts, bounded retries with exponential backoff, a
+``fail_fast`` mode that re-raises a worker's traceback in the parent, and
+graceful degradation to serial execution when a pool cannot be created.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.exceptions import ConfigError, ReproError
+from repro.common.rng import derive_seed
+
+#: number of deterministic shards a plan is partitioned into. Shards are a
+#: scheduling/telemetry granularity, not a correctness concern: the mapping
+#: unit -> shard depends only on the campaign seed and the unit id, never on
+#: the worker count.
+DEFAULT_SHARDS = 8
+
+#: hard cap on the default pool size; campaigns scale past this only when
+#: the caller (or REPRO_PROCESSES) asks explicitly.
+MAX_DEFAULT_PROCESSES = 8
+
+
+def default_processes() -> int:
+    """Pool size used when a campaign config does not pin one.
+
+    ``min(available cores, 8)``, overridable with the ``REPRO_PROCESSES``
+    environment variable (documented in README.md / docs/CAMPAIGNS.md).
+    """
+    env = os.environ.get("REPRO_PROCESSES")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ConfigError(
+                f"REPRO_PROCESSES must be an integer, got {env!r}") from exc
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(cores, MAX_DEFAULT_PROCESSES))
+
+
+class CampaignUnitError(ReproError):
+    """A work unit raised; re-thrown in the parent under ``fail_fast``."""
+
+    def __init__(self, unit_id: str, remote_traceback: str):
+        super().__init__(
+            f"work unit {unit_id!r} failed:\n{remote_traceback}")
+        self.unit_id = unit_id
+        self.remote_traceback = remote_traceback
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent, deterministic slice of a campaign."""
+
+    #: stable identity, unique within the plan (e.g. ``epr/gemm/WV/00005+5``)
+    unit_id: str
+    #: campaign kind; selects the registered runner
+    kind: str
+    #: runner parameters; must be picklable (JSON-serializable preferred)
+    payload: dict
+    #: deterministic shard index in ``range(DEFAULT_SHARDS)``
+    shard: int = 0
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one work unit (one line of ``results.jsonl``)."""
+
+    unit_id: str
+    kind: str
+    shard: int
+    ok: bool
+    value: dict | None = None
+    error: str | None = None
+    retries: int = 0
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def items(self) -> int:
+        """Number of injections/faults this unit covered (for throughput)."""
+        if self.ok and isinstance(self.value, dict):
+            n = self.value.get("items")
+            if isinstance(n, int):
+                return n
+        return 0
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "UnitResult":
+        return cls(**data)
+
+
+def shard_of(unit_id: str, seed: int = 0,
+             num_shards: int = DEFAULT_SHARDS) -> int:
+    """Deterministic shard for *unit_id* — stable across runs and workers."""
+    return derive_seed(seed, "shard", unit_id) % num_shards
+
+
+# ---------------------------------------------------------------------
+# runner registry + per-campaign context
+# ---------------------------------------------------------------------
+
+_RUNNERS: dict[str, Callable[[dict], dict]] = {}
+
+#: large shared inputs (stimuli, golden traces) installed by the submitting
+#: campaign *before* the pool forks; workers inherit it copy-on-write
+#: instead of receiving a pickled copy per unit.
+_CONTEXT: dict[str, Any] = {}
+
+
+def register_runner(kind: str):
+    """Decorator: register the module-level function executing *kind* units."""
+
+    def deco(fn: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        _RUNNERS[kind] = fn
+        return fn
+
+    return deco
+
+
+def get_runner(kind: str) -> Callable[[dict], dict]:
+    if kind not in _RUNNERS:
+        # runners live in the campaign modules; import lazily so resuming
+        # from the CLI works without the caller pre-importing the layer
+        from repro.campaign.plans import ensure_kind_loaded
+
+        ensure_kind_loaded(kind)
+    try:
+        return _RUNNERS[kind]
+    except KeyError:
+        raise ConfigError(f"no runner registered for campaign kind {kind!r}")
+
+
+def set_context(context: dict | None) -> None:
+    global _CONTEXT
+    _CONTEXT = dict(context or {})
+
+
+def get_context() -> dict:
+    return _CONTEXT
+
+
+# ---------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Executor knobs (all orthogonal to campaign semantics)."""
+
+    #: worker processes; 0 means :func:`default_processes`
+    processes: int = 0
+    #: per-unit wall-clock budget in pool mode (the simulator watchdog is
+    #: the first line of defence; this is the backstop)
+    timeout: float = 600.0
+    #: how many times a failed/timed-out unit is re-run before being
+    #: recorded as a failure
+    retries: int = 2
+    #: base of the exponential backoff slept between retry waves
+    backoff: float = 0.25
+    #: re-raise the first worker exception (with its remote traceback)
+    #: instead of retrying/recording it
+    fail_fast: bool = False
+    #: stop after this many units (used to simulate interruption and to
+    #: bound smoke runs); remaining units stay pending for ``resume``
+    max_units: int | None = None
+
+
+def _execute_unit(unit: WorkUnit) -> UnitResult:
+    """Worker-side wrapper: run, time, and account one unit."""
+    from repro.campaign.goldens import GOLDEN_CACHE
+
+    h0, m0 = GOLDEN_CACHE.hits, GOLDEN_CACHE.misses
+    t0 = time.perf_counter()
+    try:
+        value = get_runner(unit.kind)(unit.payload)
+        ok, error = True, None
+    except Exception:
+        value, ok, error = None, False, traceback.format_exc()
+    elapsed = time.perf_counter() - t0
+    return UnitResult(
+        unit_id=unit.unit_id, kind=unit.kind, shard=unit.shard, ok=ok,
+        value=value, error=error, elapsed=elapsed,
+        cache_hits=GOLDEN_CACHE.hits - h0,
+        cache_misses=GOLDEN_CACHE.misses - m0,
+    )
+
+
+def _run_wave_serial(units: Sequence[WorkUnit]) -> list[UnitResult]:
+    return [_execute_unit(u) for u in units]
+
+
+def _run_wave_pool(units: Sequence[WorkUnit], processes: int,
+                   timeout: float) -> list[UnitResult]:
+    """One attempt over *units* on a fork pool, with per-unit timeouts.
+
+    A timed-out unit is recorded as a retryable failure; the pool is
+    terminated afterwards so a hung worker cannot leak into later waves.
+    """
+    ctx = mp.get_context("fork")
+    pool = ctx.Pool(processes)
+    results: list[UnitResult] = []
+    timed_out = False
+    try:
+        handles = [(u, pool.apply_async(_execute_unit, (u,))) for u in units]
+        for u, h in handles:
+            try:
+                results.append(h.get(timeout))
+            except mp.TimeoutError:
+                timed_out = True
+                results.append(UnitResult(
+                    unit_id=u.unit_id, kind=u.kind, shard=u.shard, ok=False,
+                    error=f"timed out after {timeout:.0f}s", elapsed=timeout))
+            except Exception:
+                results.append(UnitResult(
+                    unit_id=u.unit_id, kind=u.kind, shard=u.shard, ok=False,
+                    error=traceback.format_exc()))
+    finally:
+        if timed_out:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+    return results
+
+
+def execute(units: Iterable[WorkUnit],
+            options: EngineConfig | None = None, *,
+            context: dict | None = None,
+            store=None,
+            telemetry=None,
+            completed: Iterable[str] = (),
+            on_result: Callable[[UnitResult], None] | None = None,
+            ) -> dict[str, UnitResult]:
+    """Run *units*, skipping ids in *completed* (and in *store*).
+
+    Returns the results produced by **this** call, keyed by unit id; a
+    resuming caller merges them with ``store.load_results()``. Completed
+    units are appended to *store* (if given) as they finish, so an
+    interrupted campaign loses at most the in-flight units.
+    """
+    from repro.campaign.telemetry import Telemetry
+
+    options = options or EngineConfig()
+    processes = options.processes or default_processes()
+    if context is not None:
+        set_context(context)
+    if telemetry is None:
+        telemetry = Telemetry()
+
+    skip = set(completed)
+    if store is not None:
+        skip |= store.completed_ids()
+    pending = [u for u in units if u.unit_id not in skip]
+    if options.max_units is not None:
+        pending = pending[:options.max_units]
+
+    done: dict[str, UnitResult] = {}
+
+    def commit(result: UnitResult) -> None:
+        done[result.unit_id] = result
+        telemetry.record(result)
+        if store is not None:
+            store.append_result(result)
+        if on_result is not None:
+            on_result(result)
+
+    attempt = 0
+    while pending:
+        if attempt > 0:
+            time.sleep(options.backoff * (2 ** (attempt - 1)))
+        if processes > 1 and len(pending) > 1:
+            try:
+                results = _run_wave_pool(pending, processes, options.timeout)
+            except (OSError, ValueError) as exc:
+                # no fork / fd exhaustion / bad pool size: degrade, don't die
+                telemetry.note_degraded(f"pool unavailable ({exc}); "
+                                        "running serially")
+                results = _run_wave_serial(pending)
+        else:
+            results = _run_wave_serial(pending)
+
+        by_id = {u.unit_id: u for u in pending}
+        pending = []
+        for r in results:
+            r.retries = attempt
+            if r.ok:
+                commit(r)
+            elif options.fail_fast:
+                raise CampaignUnitError(r.unit_id, r.error or "unknown error")
+            elif attempt < options.retries:
+                telemetry.note_retry(r)
+                pending.append(by_id[r.unit_id])
+            else:
+                commit(r)
+        attempt += 1
+    return done

@@ -1,0 +1,123 @@
+"""Content-addressed golden-run cache.
+
+The dominant redundant cost of a software-level campaign is re-running the
+fault-free reference: classifying one injection needs the golden output
+bits of its ``(workload, scale, seed)``, and a 1,000-injection campaign
+used to recompute them 1,000 times. This cache computes each golden run
+once per process. Campaigns :meth:`~GoldenCache.warm` it in the parent
+before the worker pool forks, so every worker inherits the entries
+copy-on-write and every work unit is a cache hit.
+
+Entries are content-addressed: the key is the SHA-256 of the identity
+tuple ``(workload, scale, seed, mem_words)`` and each entry additionally
+records the SHA-256 digest of the golden output bits, so result stores can
+assert they were classified against the same reference.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.device import Device
+from repro.workloads import get_workload
+
+#: default global-memory size campaigns run workloads with
+DEFAULT_MEM_WORDS = 1 << 20
+
+
+def golden_key(app: str, scale: str, seed: int,
+               mem_words: int = DEFAULT_MEM_WORDS) -> str:
+    """Content address of one golden run's identity tuple."""
+    ident = f"golden|{app}|{scale}|{int(seed)}|{int(mem_words)}"
+    return hashlib.sha256(ident.encode()).hexdigest()
+
+
+@functools.lru_cache(maxsize=64)
+def cached_workload(app: str, scale: str, seed: int):
+    """Workload instances are immutable after construction (seeded data +
+    cached programs), so one instance serves every injection."""
+    return get_workload(app, scale=scale, seed=seed)
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """Fault-free reference output of one (workload, scale, seed)."""
+
+    key: str
+    bits: np.ndarray
+    #: dynamic instructions of the golden execution; campaigns derive the
+    #: faulty-run watchdog budget from it
+    dynamic_instructions: int
+    #: SHA-256 of the golden output bits (integrity / provenance)
+    digest: str
+
+
+def _compute(app: str, scale: str, seed: int, mem_words: int) -> GoldenRun:
+    w = cached_workload(app, scale, seed)
+    dev = Device(DeviceConfig(global_mem_words=mem_words))
+    executed = {"n": 0}
+
+    def launcher(program, grid, block, params=(), shared_words=None):
+        res = dev.launch(program, grid, block, params=params,
+                         shared_words=shared_words)
+        executed["n"] += res.instructions_executed
+        return res
+
+    bits = w.run(dev, launcher)
+    digest = hashlib.sha256(np.ascontiguousarray(bits).tobytes()).hexdigest()
+    return GoldenRun(key=golden_key(app, scale, seed, mem_words), bits=bits,
+                     dynamic_instructions=executed["n"], digest=digest)
+
+
+class GoldenCache:
+    """Process-local golden-run cache with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, GoldenRun] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, app: str, scale: str, seed: int,
+            mem_words: int = DEFAULT_MEM_WORDS) -> GoldenRun:
+        """Return the golden run, computing (and counting a miss) if absent."""
+        key = golden_key(app, scale, seed, mem_words)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = _compute(app, scale, seed, mem_words)
+        self._entries[key] = entry
+        return entry
+
+    def warm(self, specs) -> int:
+        """Pre-compute golden runs for ``(app, scale, seed, mem_words)``
+        tuples; returns how many were actually computed (cache misses)."""
+        before = self.misses
+        for app, scale, seed, mem_words in specs:
+            self.get(app, scale, seed, mem_words)
+        return self.misses - before
+
+    def stats(self) -> tuple[int, int]:
+        return self.hits, self.misses
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: the process singleton; forked workers inherit warmed entries
+GOLDEN_CACHE = GoldenCache()

@@ -1,0 +1,128 @@
+"""On-disk campaign state: append-only JSONL results + a manifest.
+
+Layout of a campaign directory::
+
+    <dir>/manifest.json    # kind, config, fingerprint, total_units, extras
+    <dir>/results.jsonl    # one UnitResult per line, appended as they finish
+
+The manifest pins the campaign identity: ``fingerprint`` is the SHA-256 of
+the canonical ``(kind, config)`` JSON, and ``resume`` refuses to continue a
+directory whose fingerprint does not match the rebuilt plan — resuming a
+campaign with a different seed or app list would silently mix results.
+
+The JSONL file is append-only and line-atomic: an interrupted run loses at
+most the units that were in flight, and truncating the file by hand simply
+re-queues the dropped units on the next resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.common.exceptions import ConfigError
+from repro.campaign.engine import UnitResult
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+def config_fingerprint(kind: str, config: dict) -> str:
+    """Canonical identity of a campaign: SHA-256 over sorted-key JSON."""
+    blob = json.dumps({"kind": kind, "config": config},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CampaignStore:
+    """One campaign directory (created on first use)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.directory / MANIFEST_NAME
+        self.results_path = self.directory / RESULTS_NAME
+
+    # -- manifest ------------------------------------------------------
+    def write_manifest(self, kind: str, config: dict, total_units: int,
+                       extra: dict | None = None) -> dict:
+        manifest = {
+            "kind": kind,
+            "config": config,
+            "fingerprint": config_fingerprint(kind, config),
+            "total_units": total_units,
+            **(extra or {}),
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2))
+        return manifest
+
+    def load_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            raise ConfigError(
+                f"{self.directory} is not a campaign directory "
+                f"(no {MANIFEST_NAME})")
+        return json.loads(self.manifest_path.read_text())
+
+    def check_fingerprint(self, kind: str, config: dict) -> None:
+        manifest = self.load_manifest()
+        expected = config_fingerprint(kind, config)
+        if manifest.get("fingerprint") != expected:
+            raise ConfigError(
+                f"campaign config mismatch in {self.directory}: the stored "
+                f"manifest was created by a different (kind, config); "
+                f"refusing to mix results")
+
+    # -- results -------------------------------------------------------
+    def append_result(self, result: UnitResult) -> None:
+        with open(self.results_path, "a") as fh:
+            fh.write(json.dumps(result.to_json()) + "\n")
+
+    def load_results(self) -> dict[str, UnitResult]:
+        """All recorded results keyed by unit id (last write wins)."""
+        out: dict[str, UnitResult] = {}
+        if not self.results_path.exists():
+            return out
+        with open(self.results_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                r = UnitResult.from_json(json.loads(line))
+                out[r.unit_id] = r
+        return out
+
+    def completed_ids(self) -> set[str]:
+        """Unit ids that succeeded — failures are re-run on resume."""
+        return {uid for uid, r in self.load_results().items() if r.ok}
+
+    # -- summary -------------------------------------------------------
+    def status(self) -> dict:
+        """Aggregate view used by ``python -m repro.campaign status``."""
+        manifest = self.load_manifest()
+        results = self.load_results()
+        ok = [r for r in results.values() if r.ok]
+        failed = [r for r in results.values() if not r.ok]
+        items = sum(r.items for r in ok)
+        elapsed = sum(r.elapsed for r in results.values())
+        warm = manifest.get("golden_warm", {})
+        hits = sum(r.cache_hits for r in results.values()) + warm.get("hits", 0)
+        misses = (sum(r.cache_misses for r in results.values())
+                  + warm.get("misses", 0))
+        total = manifest.get("total_units", 0)
+        return {
+            "kind": manifest.get("kind"),
+            "directory": str(self.directory),
+            "total_units": total,
+            "completed_units": len(ok),
+            "failed_units": len(failed),
+            "complete": bool(total) and len(ok) == total,
+            "items": items,
+            "unit_seconds": round(elapsed, 3),
+            "items_per_sec": round(items / elapsed, 2) if elapsed else 0.0,
+            "retries": sum(r.retries for r in results.values()),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+        }

@@ -1,13 +1,34 @@
-"""Gate-level stuck-at campaign orchestration."""
+"""Gate-level stuck-at campaign orchestration.
+
+Fault batches execute as work units on the unified campaign engine
+(:mod:`repro.campaign`): the netlist stimuli and golden traces are shared
+with forked workers through the engine context (copy-on-write, never
+pickled per unit), batches retry on transient failure, and both the
+legacy single-file checkpoint format and the engine's store/manifest
+layout survive interruption.
+"""
 
 from __future__ import annotations
 
+import functools
+import json
+import os
 from collections import Counter
 from dataclasses import dataclass, field
-import multiprocessing as mp
 
 import numpy as np
 
+from repro.campaign.engine import (
+    EngineConfig,
+    UnitResult,
+    WorkUnit,
+    default_processes,
+    execute,
+    get_context,
+    register_runner,
+    shard_of,
+)
+from repro.campaign.plans import CampaignPlan
 from repro.common.rng import DEFAULT_SEED
 from repro.errormodels.classify import classify_output_diff
 from repro.errormodels.models import ErrorModel
@@ -25,6 +46,9 @@ class CampaignConfig:
     the default samples it so the whole three-unit campaign runs in
     minutes on one machine. Rates are ratio estimators, so sampling
     preserves them within the usual statistical margin.
+
+    ``processes`` defaults to ``min(available cores, 8)`` (override with
+    the ``REPRO_PROCESSES`` environment variable).
     """
 
     unit: str
@@ -32,7 +56,8 @@ class CampaignConfig:
     max_stimuli: int | None = 48
     words: int = 8              # fault lanes per batch = 64*words
     seed: int = DEFAULT_SEED
-    processes: int = 1
+    processes: int = field(default_factory=default_processes)
+    fail_fast: bool = True
 
 
 @dataclass
@@ -55,6 +80,21 @@ class FaultRecord:
         if self.activated:
             return "masked"
         return "uncontrollable"
+
+
+def record_to_json(r: FaultRecord) -> dict:
+    return {"net": r.fault.net, "sa": r.fault.stuck_at,
+            "activated": r.activated, "propagated": r.propagated,
+            "hang": r.hang,
+            "models": {m.value: c for m, c in r.models.items()}}
+
+
+def record_from_json(d: dict) -> FaultRecord:
+    return FaultRecord(
+        fault=StuckAtFault(d["net"], d["sa"]),
+        activated=d["activated"], propagated=d["propagated"], hang=d["hang"],
+        models=Counter({ErrorModel(k): v for k, v in d["models"].items()}),
+    )
 
 
 @dataclass
@@ -214,27 +254,38 @@ def _run_batch(unit: UnitModel, batch_faults: list[StuckAtFault],
     return records
 
 
-def _worker(args):
-    unit_name, faults, stimuli, golden, words = args
-    unit = build_unit(unit_name)
-    return _run_batch(unit, faults, stimuli, golden, words)
-
-
 # ---------------------------------------------------------------------
-# entry point
+# campaign-engine integration (kind: "gate")
 # ---------------------------------------------------------------------
 
-def run_gate_campaign(config: CampaignConfig,
-                      stimuli: list[Stimulus],
-                      checkpoint_path: str | None = None
-                      ) -> GateCampaignResult:
-    """Run the gate-level campaign for one unit over *stimuli*.
+@functools.lru_cache(maxsize=8)
+def _cached_unit(name: str) -> UnitModel:
+    """One netlist build per worker process."""
+    return build_unit(name)
 
-    With ``checkpoint_path``, completed fault batches are appended to a
-    JSONL file and skipped on restart — paper-scale campaigns survive
-    interruption and can be resumed (or sharded across machines and the
-    files concatenated).
+
+@register_runner("gate")
+def _run_gate_unit(payload: dict) -> dict:
+    """Engine runner: one fault batch against all stimuli.
+
+    The heavy shared inputs (stimuli, golden traces) come from the engine
+    context installed before the pool forked, not from the payload.
     """
+    ctx = get_context()
+    unit = _cached_unit(ctx["unit"])
+    faults = [StuckAtFault(net, sa) for net, sa in payload["faults"]]
+    records = _run_batch(unit, faults, ctx["stimuli"], ctx["golden"],
+                         ctx["words"])
+    return {
+        "items": len(records),
+        "batch": payload["batch"],
+        "records": [record_to_json(r) for r in records],
+    }
+
+
+def _build_gate_plan(config: CampaignConfig, stimuli: list[Stimulus],
+                     plan_config: dict | None = None) -> CampaignPlan:
+    """Materialize batches + shared context for one unit's campaign."""
     unit = build_unit(config.unit)
     faults = full_fault_list(unit.netlist)
     faults = sample_faults(faults, config.max_faults, seed=config.seed)
@@ -244,64 +295,153 @@ def run_gate_campaign(config: CampaignConfig,
     golden = _golden_run(unit, stimuli)
 
     cap = 64 * config.words
-    batches = [faults[i:i + cap] for i in range(0, len(faults), cap)]
+    units = []
+    for b, start in enumerate(range(0, len(faults), cap)):
+        uid = f"gate/{config.unit}/{b:05d}"
+        units.append(WorkUnit(
+            unit_id=uid, kind="gate", shard=shard_of(uid, config.seed),
+            payload={"batch": b,
+                     "faults": [(f.net, f.stuck_at)
+                                for f in faults[start:start + cap]]}))
+    context = {"unit": config.unit, "stimuli": stimuli, "golden": golden,
+               "words": config.words}
+    cfg_dict = plan_config if plan_config is not None else {
+        "unit": config.unit, "max_faults": config.max_faults,
+        "max_stimuli": config.max_stimuli, "words": config.words,
+        "seed": config.seed,
+    }
+    return CampaignPlan(kind="gate", config=cfg_dict, units=tuple(units),
+                        context=context)
 
-    done: dict[int, list[FaultRecord]] = {}
+
+def _aggregate_gate(unit_name: str, num_stimuli: int,
+                    results: dict[str, UnitResult]) -> GateCampaignResult:
+    records: list[FaultRecord] = []
+    for uid in sorted(r for r, res in results.items() if res.ok):
+        value = results[uid].value or {}
+        records.extend(record_from_json(d) for d in value.get("records", ()))
+    return GateCampaignResult(unit=unit_name, num_stimuli=num_stimuli,
+                              records=records)
+
+
+# ---------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------
+
+def run_gate_campaign(config: CampaignConfig,
+                      stimuli: list[Stimulus],
+                      checkpoint_path: str | None = None, *,
+                      store=None, telemetry=None,
+                      max_units: int | None = None) -> GateCampaignResult:
+    """Run the gate-level campaign for one unit over *stimuli*.
+
+    With ``checkpoint_path``, completed fault batches are appended to a
+    JSONL file and skipped on restart — paper-scale campaigns survive
+    interruption and can be resumed (or sharded across machines and the
+    files concatenated). *store* offers the same durability in the
+    engine's manifest + ``results.jsonl`` layout used by
+    ``python -m repro.campaign``.
+    """
+    plan = _build_gate_plan(config, stimuli)
+    num_stimuli = len(plan.context["stimuli"])
+
+    completed: dict[str, UnitResult] = {}
     if checkpoint_path:
-        done = _load_checkpoint(checkpoint_path)
-        batches_todo = [(i, b) for i, b in enumerate(batches)
-                        if i not in done]
-    else:
-        batches_todo = list(enumerate(batches))
+        for batch_index, records in _load_checkpoint(checkpoint_path).items():
+            uid = f"gate/{config.unit}/{batch_index:05d}"
+            completed[uid] = UnitResult(
+                unit_id=uid, kind="gate", shard=shard_of(uid, config.seed),
+                ok=True,
+                value={"items": len(records), "batch": batch_index,
+                       "records": [record_to_json(r) for r in records]})
 
-    if config.processes > 1 and len(batches_todo) > 1:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(config.processes) as pool:
-            chunks = pool.map(
-                _worker,
-                [(config.unit, b, stimuli, golden, config.words)
-                 for _, b in batches_todo],
-            )
-        for (i, _), chunk in zip(batches_todo, chunks):
-            done[i] = chunk
-            if checkpoint_path:
-                _append_checkpoint(checkpoint_path, i, chunk)
-    else:
-        for i, b in batches_todo:
-            chunk = _run_batch(unit, b, stimuli, golden, config.words)
-            done[i] = chunk
-            if checkpoint_path:
-                _append_checkpoint(checkpoint_path, i, chunk)
-    records = [r for i in sorted(done) for r in done[i]]
-    return GateCampaignResult(
-        unit=config.unit, num_stimuli=len(stimuli), records=records
-    )
+    def on_result(result: UnitResult) -> None:
+        if checkpoint_path and result.ok:
+            _append_checkpoint(checkpoint_path, result.value["batch"],
+                               [record_from_json(d)
+                                for d in result.value["records"]])
+
+    if store is not None and not store.manifest_path.exists():
+        store.write_manifest(plan.kind, plan.config, len(plan.units))
+
+    options = EngineConfig(processes=config.processes,
+                           fail_fast=config.fail_fast, max_units=max_units)
+    executed = execute(plan.units, options, context=plan.context,
+                       store=store, telemetry=telemetry,
+                       completed=completed, on_result=on_result)
+    results = dict(completed)
+    if store is not None:
+        results.update(store.load_results())
+    results.update(executed)
+    return _aggregate_gate(config.unit, num_stimuli, results)
+
+
+class GateCampaignSpec:
+    """Campaign-kind adapter for ``python -m repro.campaign`` (kind: gate).
+
+    ``build`` re-profiles the workload stimuli deterministically from the
+    config, so a manifest alone is enough to resume.
+    """
+
+    kind = "gate"
+
+    def default_config(self, **overrides) -> dict:
+        cfg = {
+            "unit": "decoder",
+            "max_faults": 1024,
+            "max_stimuli": 48,
+            "words": 8,
+            "seed": DEFAULT_SEED,
+            "scale": "tiny",
+            "stimuli_per_workload": 16,
+        }
+        cfg.update({k: v for k, v in overrides.items() if v is not None})
+        return cfg
+
+    def build(self, config: dict) -> CampaignPlan:
+        from repro.profiling import profile_workloads
+        from repro.profiling.profiler import PROFILING_NAMES
+        from repro.workloads import get_workload
+
+        names = (PROFILING_NAMES[:6] if config["scale"] == "tiny"
+                 else PROFILING_NAMES)
+        wls = [get_workload(n, scale=config["scale"]) for n in names]
+        prof = profile_workloads(
+            wls, max_stimuli_per_workload=config["stimuli_per_workload"])
+        cc = CampaignConfig(unit=config["unit"],
+                            max_faults=config["max_faults"],
+                            max_stimuli=config["max_stimuli"],
+                            words=config["words"], seed=config["seed"])
+        return _build_gate_plan(cc, prof.stimuli, plan_config=dict(config))
+
+    def aggregate(self, config: dict,
+                  results: dict[str, UnitResult]) -> GateCampaignResult:
+        num_stimuli = min(config["max_stimuli"] or 0, 10 ** 9)
+        return _aggregate_gate(config["unit"], num_stimuli, results)
+
+    def summarize(self, result: GateCampaignResult) -> dict:
+        return {
+            "unit": result.unit,
+            "faults": result.total_faults,
+            "category_rates_%": {k: round(v, 2)
+                                 for k, v in result.category_rates().items()},
+            "multi_model_fault_fraction": round(
+                result.multi_model_fault_fraction(), 3),
+        }
+
+
+CAMPAIGN_SPEC = GateCampaignSpec()
 
 
 def _append_checkpoint(path: str, batch_index: int,
                        records: list[FaultRecord]) -> None:
-    import json
-
-    payload = {
-        "batch": batch_index,
-        "records": [
-            {"net": r.fault.net, "sa": r.fault.stuck_at,
-             "activated": r.activated, "propagated": r.propagated,
-             "hang": r.hang,
-             "models": {m.value: c for m, c in r.models.items()}}
-            for r in records
-        ],
-    }
+    payload = {"batch": batch_index,
+               "records": [record_to_json(r) for r in records]}
     with open(path, "a") as fh:
         fh.write(json.dumps(payload) + "\n")
 
 
 def _load_checkpoint(path: str) -> dict[int, list[FaultRecord]]:
-    import json
-    import os
-
-    from repro.gatelevel.faults import StuckAtFault
-
     if not os.path.exists(path):
         return {}
     out: dict[int, list[FaultRecord]] = {}
@@ -310,15 +450,6 @@ def _load_checkpoint(path: str) -> dict[int, list[FaultRecord]]:
             if not line.strip():
                 continue
             payload = json.loads(line)
-            records = [
-                FaultRecord(
-                    fault=StuckAtFault(r["net"], r["sa"]),
-                    activated=r["activated"], propagated=r["propagated"],
-                    hang=r["hang"],
-                    models=Counter({ErrorModel(k): v
-                                    for k, v in r["models"].items()}),
-                )
-                for r in payload["records"]
-            ]
-            out[payload["batch"]] = records
+            out[payload["batch"]] = [record_from_json(r)
+                                     for r in payload["records"]]
     return out

@@ -4,40 +4,72 @@ Reproduces the paper's §5.2 evaluation: N error injections per
 application per model, each with a fresh random descriptor targeting one
 sub-partition of SM0, classified against a golden run. Campaign scale is
 configurable; the paper used 1,000 injections per (app, model).
+
+Execution runs on the unified campaign engine (:mod:`repro.campaign`):
+the injection plan is partitioned into deterministic work units keyed by
+``(app, model, index range)``, golden runs come from the shared
+content-addressed cache, and — when a :class:`repro.campaign.CampaignStore`
+is supplied — completed units are persisted so the campaign can be
+resumed after interruption.
 """
 
 from __future__ import annotations
 
-import functools
-import multiprocessing as mp
 from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.engine import (
+    EngineConfig,
+    UnitResult,
+    WorkUnit,
+    default_processes,
+    execute,
+    register_runner,
+    shard_of,
+)
+from repro.campaign.goldens import (
+    DEFAULT_MEM_WORDS,
+    GOLDEN_CACHE,
+    cached_workload,
+)
+from repro.campaign.plans import CampaignPlan, chunked
 from repro.common.exceptions import DeviceError
 from repro.common.rng import DEFAULT_SEED
 from repro.errormodels.models import ErrorModel, SW_INJECTABLE
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.device import Device
 from repro.swinjector.instrumentation import NVBitPERfi, make_descriptor
-from repro.workloads import get_workload
 from repro.workloads.registry import EVALUATION_APPS
 
 OUTCOMES = ("masked", "sdc", "due")
 
+#: injections grouped into one work unit (the scheduling quantum; results
+#: are independent of it because every injection is seeded by its index)
+DEFAULT_CHUNK = 5
+
 
 @dataclass(frozen=True)
 class SwCampaignConfig:
-    """Software-level campaign parameters (scaled-down defaults)."""
+    """Software-level campaign parameters (scaled-down defaults).
+
+    ``processes`` defaults to ``min(available cores, 8)`` and can be
+    overridden with the ``REPRO_PROCESSES`` environment variable. With
+    ``fail_fast`` (the default) a worker crash surfaces its traceback in
+    the parent instead of being swallowed by the pool; campaigns running
+    against a result store may prefer ``fail_fast=False`` so crashes are
+    recorded and retried on resume.
+    """
 
     apps: tuple[str, ...] = tuple(EVALUATION_APPS)
     models: tuple[ErrorModel, ...] = tuple(SW_INJECTABLE)
     injections_per_model: int = 20
     scale: str = "tiny"
     seed: int = DEFAULT_SEED
-    processes: int = 1
-    mem_words: int = 1 << 20
+    processes: int = field(default_factory=default_processes)
+    mem_words: int = DEFAULT_MEM_WORDS
+    fail_fast: bool = True
 
 
 @dataclass
@@ -83,26 +115,15 @@ class EprResult:
         return 100.0 * sum(o.outcome != "masked" for o in self.outcomes) / n
 
 
-@functools.lru_cache(maxsize=64)
-def _cached_workload(app: str, scale: str, seed: int):
-    """Workload instances are immutable after construction (seeded data +
-    cached programs), so one instance serves every injection."""
-    return get_workload(app, scale=scale, seed=seed)
+#: kept under its historical name; the cache itself moved to repro.campaign
+_cached_workload = cached_workload
 
 
 def _golden_bits(app: str, scale: str, seed: int, mem_words: int):
-    w = _cached_workload(app, scale, seed)
-    dev = Device(DeviceConfig(global_mem_words=mem_words))
-    instructions = {"n": 0}
-
-    def launcher(program, grid, block, params=(), shared_words=None):
-        res = dev.launch(program, grid, block, params=params,
-                         shared_words=shared_words)
-        instructions["n"] += res.instructions_executed
-        return res
-
-    bits = w.run(dev, launcher)
-    return bits, instructions["n"]
+    """Golden output bits + dynamic instruction count (via the shared
+    content-addressed cache — computed once per process)."""
+    g = GOLDEN_CACHE.get(app, scale, seed, mem_words)
+    return g.bits, g.dynamic_instructions
 
 
 def run_one_injection(app: str, model: ErrorModel, index: int,
@@ -111,7 +132,7 @@ def run_one_injection(app: str, model: ErrorModel, index: int,
     """One NVBitPERfi run: fresh device, instrumented launches, classify."""
     desc = make_descriptor(model, config.seed, index)
     tool = NVBitPERfi(desc)
-    w = _cached_workload(app, config.scale, config.seed)
+    w = cached_workload(app, config.scale, config.seed)
     dev = Device(DeviceConfig(global_mem_words=config.mem_words))
 
     def launcher(program, grid, block, params=(), shared_words=None):
@@ -128,30 +149,154 @@ def run_one_injection(app: str, model: ErrorModel, index: int,
     return InjectionOutcome(app, model, outcome, activations=tool.activations)
 
 
-def _worker(args) -> list[InjectionOutcome]:
-    app, model, indices, config, golden, watchdog = args
-    return [run_one_injection(app, model, i, config, golden, watchdog)
-            for i in indices]
+# ---------------------------------------------------------------------
+# campaign-engine integration (kind: "epr")
+# ---------------------------------------------------------------------
+
+@register_runner("epr")
+def _run_epr_unit(payload: dict) -> dict:
+    """Engine runner: one chunk of injections for one (app, model)."""
+    app = payload["app"]
+    model = ErrorModel(payload["model"])
+    scale, seed = payload["scale"], payload["seed"]
+    mem_words = payload["mem_words"]
+    golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
+    watchdog = 10 * golden.dynamic_instructions + 10_000
+    cfg = SwCampaignConfig(apps=(app,), models=(model,), scale=scale,
+                           seed=seed, mem_words=mem_words)
+    outcomes = [run_one_injection(app, model, i, cfg, golden.bits, watchdog)
+                for i in payload["indices"]]
+    return {
+        "items": len(outcomes),
+        "golden_digest": golden.digest,
+        "outcomes": [
+            {"outcome": o.outcome, "due_reason": o.due_reason,
+             "activations": o.activations}
+            for o in outcomes
+        ],
+    }
 
 
-def run_epr_campaign(config: SwCampaignConfig | None = None) -> EprResult:
-    """Run the full software-level campaign of Figures 10/11."""
+class EprCampaignSpec:
+    """Campaign-kind adapter for ``python -m repro.campaign`` (kind: epr)."""
+
+    kind = "epr"
+
+    def default_config(self, **overrides) -> dict:
+        cfg = {
+            "apps": list(SwCampaignConfig.apps),
+            "models": [m.value for m in SW_INJECTABLE],
+            "injections_per_model": 20,
+            "scale": "tiny",
+            "seed": DEFAULT_SEED,
+            "mem_words": DEFAULT_MEM_WORDS,
+            "chunk": DEFAULT_CHUNK,
+        }
+        cfg.update({k: v for k, v in overrides.items() if v is not None})
+        return cfg
+
+    @staticmethod
+    def config_of(config: SwCampaignConfig, chunk: int = DEFAULT_CHUNK) -> dict:
+        """Manifest config dict for a dataclass config. Execution knobs
+        (processes, fail_fast) are deliberately excluded: resuming with a
+        different worker count must be allowed and yields identical
+        results."""
+        return {
+            "apps": list(config.apps),
+            "models": [m.value for m in config.models],
+            "injections_per_model": config.injections_per_model,
+            "scale": config.scale,
+            "seed": config.seed,
+            "mem_words": config.mem_words,
+            "chunk": chunk,
+        }
+
+    @staticmethod
+    def _iter_unit_specs(config: dict):
+        for app in config["apps"]:
+            for model in config["models"]:
+                for indices in chunked(range(config["injections_per_model"]),
+                                       config.get("chunk", DEFAULT_CHUNK)):
+                    uid = (f"epr/{app}/{model}/"
+                           f"{indices[0]:05d}+{len(indices)}")
+                    yield uid, app, model, list(indices)
+
+    def build(self, config: dict) -> CampaignPlan:
+        h0, m0 = GOLDEN_CACHE.stats()
+        GOLDEN_CACHE.warm((app, config["scale"], config["seed"],
+                           config["mem_words"]) for app in config["apps"])
+        h1, m1 = GOLDEN_CACHE.stats()
+        units = tuple(
+            WorkUnit(unit_id=uid, kind="epr", shard=shard_of(uid,
+                                                             config["seed"]),
+                     payload={"app": app, "model": model, "indices": indices,
+                              "scale": config["scale"],
+                              "seed": config["seed"],
+                              "mem_words": config["mem_words"]})
+            for uid, app, model, indices in self._iter_unit_specs(config)
+        )
+        return CampaignPlan(kind="epr", config=dict(config), units=units,
+                            warm_stats=(h1 - h0, m1 - m0))
+
+    def aggregate(self, config: dict,
+                  results: dict[str, UnitResult]) -> EprResult:
+        """Deterministic aggregation: unit-id order, not completion order."""
+        cfg = SwCampaignConfig(
+            apps=tuple(config["apps"]),
+            models=tuple(ErrorModel(m) for m in config["models"]),
+            injections_per_model=config["injections_per_model"],
+            scale=config["scale"], seed=config["seed"],
+            mem_words=config["mem_words"],
+        )
+        result = EprResult(config=cfg)
+        for uid, app, model, _ in self._iter_unit_specs(config):
+            r = results.get(uid)
+            if r is None or not r.ok or not r.value:
+                continue
+            for o in r.value["outcomes"]:
+                result.outcomes.append(InjectionOutcome(
+                    app=app, model=ErrorModel(model), outcome=o["outcome"],
+                    due_reason=o["due_reason"],
+                    activations=o["activations"]))
+        return result
+
+    def summarize(self, result: EprResult) -> dict:
+        return {
+            "injections": len(result.outcomes),
+            "overall_epr_%": round(result.overall_epr(), 2),
+            "outcome_counts": dict(Counter(o.outcome
+                                           for o in result.outcomes)),
+        }
+
+
+CAMPAIGN_SPEC = EprCampaignSpec()
+
+
+def run_epr_campaign(config: SwCampaignConfig | None = None, *,
+                     store=None, telemetry=None,
+                     max_units: int | None = None,
+                     chunk: int = DEFAULT_CHUNK) -> EprResult:
+    """Run the full software-level campaign of Figures 10/11.
+
+    With *store* (a :class:`repro.campaign.CampaignStore`) the campaign is
+    resumable: completed work units are skipped and their recorded results
+    merged into the aggregate. *max_units* bounds how many pending units
+    this call executes (simulated interruption / incremental runs).
+    """
     config = config or SwCampaignConfig()
-    result = EprResult(config=config)
-    jobs = []
-    for app in config.apps:
-        golden, dyn = _golden_bits(app, config.scale, config.seed,
-                                   config.mem_words)
-        watchdog = 10 * dyn + 10_000
-        for model in config.models:
-            indices = list(range(config.injections_per_model))
-            jobs.append((app, model, indices, config, golden, watchdog))
-    if config.processes > 1:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(config.processes) as pool:
-            for chunk in pool.map(_worker, jobs):
-                result.outcomes.extend(chunk)
-    else:
-        for job in jobs:
-            result.outcomes.extend(_worker(job))
-    return result
+    spec = CAMPAIGN_SPEC
+    plan_config = spec.config_of(config, chunk=chunk)
+    plan = spec.build(plan_config)
+    if telemetry is not None:
+        telemetry.note_warm(*plan.warm_stats)
+    if store is not None and not store.manifest_path.exists():
+        store.write_manifest(plan.kind, plan.config, len(plan.units),
+                             extra={"golden_warm": {
+                                 "hits": plan.warm_stats[0],
+                                 "misses": plan.warm_stats[1]}})
+    options = EngineConfig(processes=config.processes,
+                           fail_fast=config.fail_fast, max_units=max_units)
+    results = execute(plan.units, options, store=store, telemetry=telemetry)
+    if store is not None:
+        results = {**store.load_results(), **results}
+    return spec.aggregate(plan_config, results)

@@ -1,0 +1,312 @@
+"""Tests for the unified campaign engine (repro.campaign).
+
+Covers the three engine guarantees the campaigns rely on:
+
+* determinism — the same seed yields identical aggregated EPR for any
+  worker count;
+* resumability — an interrupted campaign, resumed, equals an
+  uninterrupted one;
+* golden-run caching — the fault-free reference is computed once per
+  campaign, not once per injection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignStore,
+    CampaignUnitError,
+    EngineConfig,
+    Telemetry,
+    UnitResult,
+    WorkUnit,
+    chunked,
+    config_fingerprint,
+    default_processes,
+    execute,
+    shard_of,
+)
+from repro.campaign.engine import DEFAULT_SHARDS, register_runner
+from repro.campaign.goldens import GOLDEN_CACHE, golden_key
+from repro.common.exceptions import ConfigError
+from repro.errormodels.models import ErrorModel
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+
+
+# ---------------------------------------------------------------------
+# synthetic campaign kinds for engine-level tests
+# ---------------------------------------------------------------------
+
+@register_runner("test-echo")
+def _echo(payload: dict) -> dict:
+    return {"items": 1, "value": payload["x"] * 2}
+
+
+@register_runner("test-crash")
+def _crash(payload: dict) -> dict:
+    raise ValueError(f"synthetic crash in unit {payload['x']}")
+
+
+@register_runner("test-flaky")
+def _flaky(payload: dict) -> dict:
+    """Fails until its marker file exists (i.e. succeeds on retry)."""
+    marker = payload["marker"]
+    if os.path.exists(marker):
+        return {"items": 1, "attempted": True}
+    with open(marker, "w") as fh:
+        fh.write("attempted")
+    raise RuntimeError("transient failure, try again")
+
+
+def _units(kind: str, n: int, **extra) -> list[WorkUnit]:
+    return [WorkUnit(unit_id=f"{kind}/{i:03d}", kind=kind,
+                     payload={"x": i, **extra}, shard=shard_of(f"{kind}/{i}"))
+            for i in range(n)]
+
+
+class TestEngineCore:
+    def test_serial_execution_collects_all(self):
+        results = execute(_units("test-echo", 5), EngineConfig(processes=1))
+        assert len(results) == 5
+        assert all(r.ok for r in results.values())
+        assert results["test-echo/003"].value["value"] == 6
+
+    def test_pooled_execution_matches_serial(self):
+        a = execute(_units("test-echo", 6), EngineConfig(processes=1))
+        b = execute(_units("test-echo", 6), EngineConfig(processes=2))
+        assert {k: r.value["value"] for k, r in a.items()} == \
+            {k: r.value["value"] for k, r in b.items()}
+
+    def test_completed_units_are_skipped(self):
+        done = {"test-echo/000", "test-echo/001"}
+        results = execute(_units("test-echo", 4), EngineConfig(processes=1),
+                          completed=done)
+        assert set(results) == {"test-echo/002", "test-echo/003"}
+
+    def test_max_units_bounds_the_run(self):
+        results = execute(_units("test-echo", 5),
+                          EngineConfig(processes=1, max_units=2))
+        assert len(results) == 2
+
+    def test_crash_is_recorded_after_retries(self):
+        telemetry = Telemetry()
+        results = execute(_units("test-crash", 1),
+                          EngineConfig(processes=1, retries=2, backoff=0.0),
+                          telemetry=telemetry)
+        r = results["test-crash/000"]
+        assert not r.ok
+        assert r.retries == 2
+        assert "ValueError" in r.error and "synthetic crash" in r.error
+        assert telemetry.totals.failures == 1
+        assert telemetry.totals.retries >= 2
+
+    def test_fail_fast_propagates_worker_traceback(self):
+        with pytest.raises(CampaignUnitError) as exc:
+            execute(_units("test-crash", 2),
+                    EngineConfig(processes=1, fail_fast=True))
+        assert "synthetic crash" in str(exc.value)
+        assert exc.value.remote_traceback
+
+    def test_transient_failure_succeeds_on_retry(self, tmp_path):
+        units = [WorkUnit(unit_id="flaky/0", kind="test-flaky",
+                          payload={"marker": str(tmp_path / "marker")})]
+        results = execute(units, EngineConfig(processes=1, retries=2,
+                                              backoff=0.0))
+        r = results["flaky/0"]
+        assert r.ok
+        assert r.retries >= 1
+
+    def test_shards_are_deterministic_and_bounded(self):
+        ids = [f"epr/gemm/WV/{i:05d}" for i in range(200)]
+        shards = [shard_of(uid, seed=7) for uid in ids]
+        assert shards == [shard_of(uid, seed=7) for uid in ids]
+        assert set(shards) <= set(range(DEFAULT_SHARDS))
+        assert len(set(shards)) > 1  # actually spreads
+
+    def test_chunked(self):
+        assert chunked(range(5), 2) == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ConfigError):
+            chunked(range(5), 0)
+
+    def test_default_processes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "3")
+        assert default_processes() == 3
+        monkeypatch.setenv("REPRO_PROCESSES", "junk")
+        with pytest.raises(ConfigError):
+            default_processes()
+        monkeypatch.delenv("REPRO_PROCESSES")
+        assert 1 <= default_processes() <= 8
+
+
+class TestStore:
+    def test_append_and_reload(self, tmp_path):
+        store = CampaignStore(tmp_path / "c")
+        store.write_manifest("test-echo", {"n": 2}, total_units=2)
+        store.append_result(UnitResult("u/0", "test-echo", 0, ok=True,
+                                       value={"items": 3}, elapsed=0.5))
+        store.append_result(UnitResult("u/1", "test-echo", 1, ok=False,
+                                       error="boom", elapsed=0.1))
+        results = store.load_results()
+        assert results["u/0"].items == 3
+        assert store.completed_ids() == {"u/0"}  # failures re-run on resume
+        status = store.status()
+        assert status["completed_units"] == 1
+        assert status["failed_units"] == 1
+        assert not status["complete"]
+
+    def test_fingerprint_guard(self, tmp_path):
+        store = CampaignStore(tmp_path / "c")
+        store.write_manifest("epr", {"seed": 1}, total_units=1)
+        store.check_fingerprint("epr", {"seed": 1})
+        with pytest.raises(ConfigError):
+            store.check_fingerprint("epr", {"seed": 2})
+        assert config_fingerprint("epr", {"seed": 1}) != \
+            config_fingerprint("epr", {"seed": 2})
+
+    def test_status_requires_manifest(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CampaignStore(tmp_path / "empty").status()
+
+
+class TestGoldenCache:
+    def test_content_addressed_and_hit_counted(self):
+        GOLDEN_CACHE.clear()
+        a = GOLDEN_CACHE.get("vectoradd", "tiny", 1)
+        b = GOLDEN_CACHE.get("vectoradd", "tiny", 1)
+        assert a is b
+        assert a.key == golden_key("vectoradd", "tiny", 1)
+        assert len(a.digest) == 64
+        assert GOLDEN_CACHE.stats() == (1, 1)
+        c = GOLDEN_CACHE.get("vectoradd", "tiny", 2)  # different seed
+        assert c.key != a.key
+        assert GOLDEN_CACHE.misses == 2
+
+    def test_campaign_hit_rate_above_90pct(self):
+        GOLDEN_CACHE.clear()
+        telemetry = Telemetry()
+        cfg = SwCampaignConfig(apps=("vectoradd",),
+                               models=(ErrorModel.WV, ErrorModel.IIO),
+                               injections_per_model=10, scale="tiny",
+                               processes=1)
+        run_epr_campaign(cfg, telemetry=telemetry, chunk=1)
+        assert telemetry.cache_hit_rate() > 0.9
+        # one golden compute per (app, scale, seed), never per injection
+        assert GOLDEN_CACHE.misses == 1
+
+
+class TestEprDeterminism:
+    def test_worker_count_does_not_change_epr(self):
+        base = dict(apps=("vectoradd",), injections_per_model=6,
+                    scale="tiny", models=(ErrorModel.WV, ErrorModel.IRA))
+        serial = run_epr_campaign(SwCampaignConfig(**base, processes=1))
+        pooled = run_epr_campaign(SwCampaignConfig(**base, processes=3))
+        for m in base["models"]:
+            assert serial.counts("vectoradd", m) == \
+                pooled.counts("vectoradd", m)
+        assert serial.overall_epr() == pooled.overall_epr()
+
+    def test_chunking_does_not_change_epr(self):
+        cfg = SwCampaignConfig(apps=("vectoradd",),
+                               models=(ErrorModel.IAT,),
+                               injections_per_model=6, scale="tiny",
+                               processes=1)
+        a = run_epr_campaign(cfg, chunk=1)
+        b = run_epr_campaign(cfg, chunk=6)
+        assert a.counts("vectoradd", ErrorModel.IAT) == \
+            b.counts("vectoradd", ErrorModel.IAT)
+
+
+class TestEprResume:
+    CFG = dict(apps=("vectoradd",), injections_per_model=6, scale="tiny",
+               models=(ErrorModel.WV, ErrorModel.IMS))
+
+    def test_interrupt_then_resume_matches_fresh(self, tmp_path):
+        cfg = SwCampaignConfig(**self.CFG, processes=1)
+        store = CampaignStore(tmp_path / "campaign")
+
+        partial = run_epr_campaign(cfg, store=store, max_units=2, chunk=2)
+        assert len(partial.outcomes) == 4  # 2 units x 2 injections
+        assert len(store.completed_ids()) == 2
+        assert store.load_manifest()["total_units"] == 6
+
+        resumed = run_epr_campaign(cfg, store=store, chunk=2)
+        fresh = run_epr_campaign(cfg, chunk=2)
+        assert len(resumed.outcomes) == len(fresh.outcomes) == 12
+        for m in cfg.models:
+            assert resumed.counts("vectoradd", m) == \
+                fresh.counts("vectoradd", m)
+        assert resumed.overall_epr() == fresh.overall_epr()
+
+    def test_resume_skips_completed_units(self, tmp_path):
+        cfg = SwCampaignConfig(**self.CFG, processes=1)
+        store = CampaignStore(tmp_path / "campaign")
+        run_epr_campaign(cfg, store=store, chunk=2)
+        before = store.results_path.read_text()
+        telemetry = Telemetry()
+        run_epr_campaign(cfg, store=store, telemetry=telemetry, chunk=2)
+        assert telemetry.totals.units == 0  # nothing re-executed
+        assert store.results_path.read_text() == before
+
+    def test_truncated_results_requeue_units(self, tmp_path):
+        cfg = SwCampaignConfig(**self.CFG, processes=1)
+        store = CampaignStore(tmp_path / "campaign")
+        run_epr_campaign(cfg, store=store, chunk=2)
+        fresh = run_epr_campaign(cfg, chunk=2)
+        lines = store.results_path.read_text().splitlines()
+        store.results_path.write_text("\n".join(lines[:-2]) + "\n")
+        resumed = run_epr_campaign(cfg, store=store, chunk=2)
+        for m in cfg.models:
+            assert resumed.counts("vectoradd", m) == \
+                fresh.counts("vectoradd", m)
+
+
+class TestGateOnEngine:
+    def test_store_resume_matches_plain_run(self, tmp_path):
+        from repro.faultinjection import CampaignConfig, run_gate_campaign
+        from repro.profiling import stimuli_from_program
+        from repro.workloads import get_workload
+
+        w = get_workload("vectoradd", scale="tiny")
+        stimuli = stimuli_from_program(w.program())
+        cfg = CampaignConfig(unit="decoder", max_faults=256, max_stimuli=8,
+                             words=1, processes=1)  # several small batches
+        plain = run_gate_campaign(cfg, stimuli)
+
+        store = CampaignStore(tmp_path / "gate")
+        partial = run_gate_campaign(cfg, stimuli, store=store, max_units=2)
+        assert partial.total_faults < plain.total_faults
+        resumed = run_gate_campaign(cfg, stimuli, store=store)
+        assert resumed.category_counts() == plain.category_counts()
+        assert resumed.faults_per_error() == plain.faults_per_error()
+
+
+class TestCli:
+    def test_run_resume_status_roundtrip(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        d = str(tmp_path / "cli")
+        rc = main(["run", "--scale", "tiny", "--apps", "vectoradd",
+                   "--models", "WV", "--injections", "4", "--chunk", "2",
+                   "--interrupt-after", "1", "--serial", "--dir", d])
+        assert rc == 0
+        rc = main(["resume", "--dir", d, "--serial"])
+        assert rc == 0
+        rc = main(["status", "--dir", d])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"complete": true' in out
+        assert '"injections": 4' in out
+
+    def test_status_on_non_campaign_dir_errors(self, tmp_path):
+        from repro.campaign.__main__ import main
+
+        assert main(["status", "--dir", str(tmp_path / "nope")]) == 2
+
+    def test_unknown_kind_rejected(self):
+        from repro.campaign.plans import get_spec
+
+        with pytest.raises(ConfigError):
+            get_spec("nonsense")
