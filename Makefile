@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test campaign-smoke bench report report-small claims docs examples clean
+.PHONY: install test lint campaign-smoke bench report report-small claims docs examples clean
 
 install:
 	pip install -e .[test]
@@ -10,6 +10,17 @@ install:
 test:
 	PYTHONPATH=src $(PY) -m pytest tests/ -q
 	$(MAKE) campaign-smoke
+
+# Style gate (ruff, when installed) + kernel static analyzer over every
+# registered workload. The analyzer exits non-zero on any error-severity
+# finding; ruff degrades to a notice in environments without it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping Python style checks"; \
+	fi
+	PYTHONPATH=src $(PY) -m repro.staticanalysis
 
 # End-to-end campaign-engine self-test: run a tiny resumable EPR campaign,
 # simulate an interrupt, resume it, and verify the counts match an

@@ -1,0 +1,95 @@
+"""Static-analyzer cost and the campaign speedup bought by pruning.
+
+Tracks three numbers:
+
+* analyzer wall-time — full CFG + liveness + lint over every registered
+  kernel (the cost `make lint` pays);
+* EPR campaign throughput with and without ``static_prune`` on a
+  prune-friendly model mix (the speedup the pruner buys);
+* gate-level fault-list reduction from structural collapsing.
+"""
+
+from __future__ import annotations
+
+from repro.errormodels.models import ErrorModel
+from repro.gatelevel.faults import full_fault_list, structural_fault_list
+from repro.gatelevel.units import build_unit
+from repro.staticanalysis import CFG, Liveness, lint_program
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+from repro.workloads import iter_workloads
+
+
+def test_bench_analyzer_full_registry(benchmark):
+    """CFG + liveness + lint over all registered kernels (wall-time)."""
+    programs = [prog
+                for _, workload in iter_workloads(scale="tiny")
+                for prog in workload.programs().values()]
+
+    def analyze_all():
+        count = 0
+        for prog in programs:
+            cfg = CFG(prog)
+            liveness = Liveness(prog, cfg)
+            lint_program(prog, cfg, liveness)
+            count += 1
+        return count
+
+    kernels = benchmark(analyze_all)
+    assert kernels >= 30
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["kernels"] = kernels
+    benchmark.extra_info["kernels_per_sec"] = round(kernels / mean, 1)
+
+
+_PRUNE_CFG = dict(
+    apps=("vectoradd", "mxm"),
+    models=(ErrorModel.WV, ErrorModel.IIO, ErrorModel.IAL, ErrorModel.IMD),
+    injections_per_model=8, scale="tiny", processes=1,
+)
+
+
+def _bench_prune(regen, benchmark, static_prune: bool, label: str):
+    cfg = SwCampaignConfig(**_PRUNE_CFG, static_prune=static_prune)
+    res = regen(run_epr_campaign, cfg)
+    n = len(res.outcomes)
+    pruned = sum(o.pruned for o in res.outcomes)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["injections"] = n
+    benchmark.extra_info["pruned"] = pruned
+    benchmark.extra_info[f"injections_per_sec_{label}"] = round(n / mean, 1)
+    return res, pruned
+
+
+def test_bench_epr_unpruned_baseline(regen, benchmark):
+    """Baseline: every injection simulated."""
+    res, pruned = _bench_prune(regen, benchmark, False, "baseline")
+    assert pruned == 0
+
+
+def test_bench_epr_static_pruned(regen, benchmark):
+    """Same campaign with --static-prune: strictly fewer simulations,
+    identical classifications (the property tests assert equality)."""
+    res, pruned = _bench_prune(regen, benchmark, True, "pruned")
+    assert pruned > 0
+    assert all(o.outcome == "masked" for o in res.outcomes if o.pruned)
+
+
+def test_bench_gate_fault_collapse(benchmark):
+    """Structural fault-list reduction across all three unit netlists."""
+    units = {name: build_unit(name).netlist
+             for name in ("wsc", "fetch", "decoder")}
+
+    def collapse_all():
+        out = {}
+        for name, nl in units.items():
+            full = full_fault_list(nl)
+            out[name] = (len(full), len(structural_fault_list(nl, full)))
+        return out
+
+    sizes = benchmark(collapse_all)
+    for name, (full, reduced) in sizes.items():
+        assert 0 < reduced < full
+        benchmark.extra_info[f"{name}_faults_full"] = full
+        benchmark.extra_info[f"{name}_faults_structural"] = reduced
+        benchmark.extra_info[f"{name}_reduction_%"] = round(
+            100 * (1 - reduced / full), 1)

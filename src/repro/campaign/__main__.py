@@ -51,12 +51,16 @@ def _config_overrides(args) -> dict:
         over["injections_per_model"] = args.injections
     if getattr(args, "chunk", None):
         over["chunk"] = args.chunk
+    if getattr(args, "static_prune", False):
+        over["static_prune"] = True
     if getattr(args, "unit", None):
         over["unit"] = args.unit
     if getattr(args, "max_faults", None) is not None:
         over["max_faults"] = args.max_faults or None
     if getattr(args, "max_stimuli", None):
         over["max_stimuli"] = args.max_stimuli
+    if getattr(args, "collapse", None):
+        over["collapse"] = args.collapse
     return over
 
 
@@ -218,12 +222,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="injections per (app, model) (epr)")
     run.add_argument("--chunk", type=int,
                      help="injections per work unit (epr)")
+    run.add_argument("--static-prune", action="store_true",
+                     help="skip simulating injections the static analyzer "
+                          "proves Masked; they still count in every EPR "
+                          "denominator (epr)")
     # gate knobs
     run.add_argument("--unit", choices=["wsc", "fetch", "decoder"],
                      help="target unit (gate)")
     run.add_argument("--max-faults", type=int,
                      help="sampled fault-list size; 0 = exhaustive (gate)")
     run.add_argument("--max-stimuli", type=int, help="stimulus cap (gate)")
+    run.add_argument("--collapse", choices=["none", "structural"],
+                     help="fault-list reduction: BUF/NOT-chain and "
+                          "controlling-value equivalence collapsing plus "
+                          "output-cone untestable-fault pruning (gate)")
     run.set_defaults(func=cmd_run)
 
     resume = sub.add_parser("resume", help="finish an interrupted campaign")

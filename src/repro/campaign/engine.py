@@ -105,6 +105,15 @@ class UnitResult:
                 return n
         return 0
 
+    @property
+    def pruned(self) -> int:
+        """Items resolved statically (not simulated) within this unit."""
+        if self.ok and isinstance(self.value, dict):
+            n = self.value.get("pruned")
+            if isinstance(n, int):
+                return n
+        return 0
+
     def to_json(self) -> dict:
         return asdict(self)
 

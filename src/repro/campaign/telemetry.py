@@ -20,6 +20,8 @@ from repro.campaign.engine import UnitResult
 class ShardStats:
     units: int = 0
     items: int = 0
+    #: items decided statically (skipped simulations); subset of ``items``
+    pruned: int = 0
     elapsed: float = 0.0
     retries: int = 0
     failures: int = 0
@@ -33,6 +35,7 @@ class ShardStats:
     def add(self, result: UnitResult) -> None:
         self.units += 1
         self.items += result.items
+        self.pruned += result.pruned
         self.elapsed += result.elapsed
         self.retries += result.retries
         self.failures += 0 if result.ok else 1
@@ -81,6 +84,7 @@ class Telemetry:
         for s in self.shards.values():
             t.units += s.units
             t.items += s.items
+            t.pruned += s.pruned
             t.elapsed += s.elapsed
             t.retries += s.retries
             t.failures += s.failures
@@ -103,7 +107,8 @@ class Telemetry:
 
     def progress_line(self) -> str:
         t = self.totals
-        return (f"[campaign] {t.units} units, {t.items} items, "
+        pruned = f", {t.pruned} pruned" if t.pruned else ""
+        return (f"[campaign] {t.units} units, {t.items} items{pruned}, "
                 f"{self.wall_items_per_sec():.1f} items/s, "
                 f"cache {100 * self.cache_hit_rate():.1f}%, "
                 f"{t.retries} retries, {t.failures} failures")
@@ -113,6 +118,7 @@ class Telemetry:
         return {
             "units": t.units,
             "items": t.items,
+            "pruned": t.pruned,
             "failures": t.failures,
             "retries": t.retries,
             "wall_seconds": round(self.wall_elapsed(), 3),
@@ -123,6 +129,7 @@ class Telemetry:
                 shard: {
                     "units": s.units,
                     "items": s.items,
+                    "pruned": s.pruned,
                     "items_per_sec": round(s.items_per_sec, 2),
                     "retries": s.retries,
                     "failures": s.failures,

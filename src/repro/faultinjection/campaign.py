@@ -32,7 +32,12 @@ from repro.campaign.plans import CampaignPlan
 from repro.common.rng import DEFAULT_SEED
 from repro.errormodels.classify import classify_output_diff
 from repro.errormodels.models import ErrorModel
-from repro.gatelevel.faults import StuckAtFault, full_fault_list, sample_faults
+from repro.gatelevel.faults import (
+    StuckAtFault,
+    full_fault_list,
+    sample_faults,
+    structural_fault_list,
+)
 from repro.gatelevel.sim import FaultBatch, LogicSim
 from repro.gatelevel.units import build_unit
 from repro.gatelevel.units.base import Stimulus, UnitModel
@@ -58,6 +63,11 @@ class CampaignConfig:
     seed: int = DEFAULT_SEED
     processes: int = field(default_factory=default_processes)
     fail_fast: bool = True
+    #: fault-list reduction applied before sampling: "none" keeps the raw
+    #: stuck-at universe; "structural" collapses equivalent faults
+    #: (BUF/NOT chains + controlling values) and drops untestable ones
+    #: outside every output cone (see repro.gatelevel.faults)
+    collapse: str = "none"
 
 
 @dataclass
@@ -288,6 +298,8 @@ def _build_gate_plan(config: CampaignConfig, stimuli: list[Stimulus],
     """Materialize batches + shared context for one unit's campaign."""
     unit = build_unit(config.unit)
     faults = full_fault_list(unit.netlist)
+    if config.collapse == "structural":
+        faults = structural_fault_list(unit.netlist, faults)
     faults = sample_faults(faults, config.max_faults, seed=config.seed)
     if config.max_stimuli and len(stimuli) > config.max_stimuli:
         idx = np.linspace(0, len(stimuli) - 1, config.max_stimuli).astype(int)
@@ -308,7 +320,7 @@ def _build_gate_plan(config: CampaignConfig, stimuli: list[Stimulus],
     cfg_dict = plan_config if plan_config is not None else {
         "unit": config.unit, "max_faults": config.max_faults,
         "max_stimuli": config.max_stimuli, "words": config.words,
-        "seed": config.seed,
+        "seed": config.seed, "collapse": config.collapse,
     }
     return CampaignPlan(kind="gate", config=cfg_dict, units=tuple(units),
                         context=context)
@@ -394,6 +406,7 @@ class GateCampaignSpec:
             "seed": DEFAULT_SEED,
             "scale": "tiny",
             "stimuli_per_workload": 16,
+            "collapse": "none",
         }
         cfg.update({k: v for k, v in overrides.items() if v is not None})
         return cfg
@@ -411,7 +424,8 @@ class GateCampaignSpec:
         cc = CampaignConfig(unit=config["unit"],
                             max_faults=config["max_faults"],
                             max_stimuli=config["max_stimuli"],
-                            words=config["words"], seed=config["seed"])
+                            words=config["words"], seed=config["seed"],
+                            collapse=config.get("collapse", "none"))
         return _build_gate_plan(cc, prof.stimuli, plan_config=dict(config))
 
     def aggregate(self, config: dict,

@@ -44,24 +44,39 @@ def full_fault_list(netlist: Netlist, include_dffs: bool = True) -> list[StuckAt
     return out
 
 
+def observation_counts(netlist: Netlist) -> np.ndarray:
+    """How many places each net is observed: gate fanin pins (DFF D pins
+    included) plus primary-output memberships.
+
+    Collapsing a fault across a gate boundary is only sound when the net
+    has exactly **one** observation point; a net that is also a primary
+    output (or feeds several gates) can be distinguished from its
+    consumer's output, so its faults must stay separate.  Earlier
+    revisions counted gate pins only — a net that was both a PO and a
+    BUF/NOT input looked single-fanout and its faults were merged with
+    the consumer's, silently under-counting the collapsed fault space.
+    """
+    counts = np.zeros(netlist.num_nets, dtype=np.int32)
+    for i in range(netlist.num_nets):
+        for f in (netlist.fanin0[i], netlist.fanin1[i]):
+            if f >= 0:
+                counts[f] += 1
+    for nets in netlist.outputs.values():
+        for net in nets:
+            counts[net] += 1
+    return counts
+
+
 def collapse_faults(netlist: Netlist, faults: list[StuckAtFault]) -> list[StuckAtFault]:
     """Structural equivalence collapsing for BUF/NOT chains.
 
     A fault on the output of a BUF is equivalent to the same fault on its
     (single) input net; a fault on the output of a NOT is equivalent to the
     opposite fault on its input. Only safe when the input net has a single
-    fanout, so we verify fanout counts first.
+    observation point (one gate pin, not a primary output), so we verify
+    :func:`observation_counts` first.
     """
-    fanout = np.zeros(netlist.num_nets, dtype=np.int32)
-    for i in range(netlist.num_nets):
-        for f in (netlist.fanin0[i], netlist.fanin1[i]):
-            if f >= 0 and netlist.gate_type[i] != GateType.DFF:
-                fanout[f] += 1
-    # DFF D pins also count as fanout
-    for i in np.where(netlist.gate_type == GateType.DFF)[0]:
-        d = netlist.fanin0[i]
-        if d >= 0:
-            fanout[d] += 1
+    fanout = observation_counts(netlist)
 
     def canonical(net: int, sa: int) -> tuple[int, int]:
         while True:
@@ -86,6 +101,100 @@ def collapse_faults(netlist: Netlist, faults: list[StuckAtFault]) -> list[StuckA
             seen.add(key)
             out.append(StuckAtFault(*key))
     return out
+
+
+#: controlling-value equivalence: a stuck-at on a gate *input* at the
+#: gate's controlling value forces the output to a fixed value, exactly
+#: like the corresponding stuck-at on the gate *output*
+_CONTROLLING: dict[GateType, tuple[int, int]] = {
+    # gate type -> (controlling input value, forced output value)
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def equivalence_collapse(netlist: Netlist,
+                         faults: list[StuckAtFault]) -> list[StuckAtFault]:
+    """Forward structural equivalence collapsing.
+
+    Extends the BUF/NOT chain rule with the classic controlling-value
+    rules: ``in/SA0 == out/SA0`` for AND, ``in/SA0 == out/SA1`` for
+    NAND, ``in/SA1 == out/SA1`` for OR and ``in/SA1 == out/SA0`` for
+    NOR.  A fault migrates forward across its (unique) consumer gate
+    until it reaches a net with more than one observation point, a
+    primary output, a DFF D pin (the Q-side fault is observable one
+    cycle later — not equivalent under per-cycle output sampling), or a
+    gate with no applicable rule (XOR/XNOR propagate every input
+    change).
+    """
+    fanout = observation_counts(netlist)
+    consumer = np.full(netlist.num_nets, -1, dtype=np.int64)
+    for i in range(netlist.num_nets):
+        for f in (netlist.fanin0[i], netlist.fanin1[i]):
+            if f >= 0:
+                consumer[f] = i if consumer[f] < 0 else -2
+
+    def forward(net: int, sa: int) -> tuple[int, int]:
+        while True:
+            if fanout[net] != 1 or consumer[net] < 0:
+                return net, sa  # PO, multi-fanout, or dangling
+            g = int(consumer[net])
+            t = GateType(int(netlist.gate_type[g]))
+            if t == GateType.BUF:
+                net, sa = g, sa
+            elif t == GateType.NOT:
+                net, sa = g, sa ^ 1
+            elif t in _CONTROLLING and sa == _CONTROLLING[t][0]:
+                net, sa = g, _CONTROLLING[t][1]
+            else:
+                return net, sa
+
+    seen: set[tuple[int, int]] = set()
+    out = []
+    for f in faults:
+        key = forward(f.net, f.stuck_at)
+        if key not in seen:
+            seen.add(key)
+            out.append(StuckAtFault(*key))
+    return out
+
+
+def observable_nets(netlist: Netlist) -> frozenset[int]:
+    """Nets in the transitive fan-in cone of some primary output.
+
+    Computed backwards from every output net through gate fanins (DFF D
+    pins included: a Q in the cone makes its D matter next cycle).  A
+    fault outside this set can never change an output — it is
+    *untestable* and simulating it is pure waste.
+    """
+    seen: set[int] = set()
+    stack = [net for nets in netlist.outputs.values() for net in nets]
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        for f in (netlist.fanin0[net], netlist.fanin1[net]):
+            if f >= 0:
+                stack.append(int(f))
+    return frozenset(seen)
+
+
+def prune_untestable(netlist: Netlist,
+                     faults: list[StuckAtFault]) -> list[StuckAtFault]:
+    """Drop faults on nets outside every output cone."""
+    cone = observable_nets(netlist)
+    return [f for f in faults if f.net in cone]
+
+
+def structural_fault_list(netlist: Netlist,
+                          faults: list[StuckAtFault]) -> list[StuckAtFault]:
+    """The full structural reduction used by ``--collapse structural``:
+    equivalence collapsing (BUF/NOT chains + controlling values) followed
+    by output-cone untestable-fault pruning."""
+    return prune_untestable(netlist, equivalence_collapse(netlist, faults))
 
 
 def sample_faults(faults: list[StuckAtFault], max_faults: int | None,

@@ -109,6 +109,48 @@ class Instruction:
         """Register sources actually read (after immediate substitution)."""
         return self.srcs
 
+    # -- dataflow helpers (used by repro.staticanalysis) ---------------
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True when the guard is statically always-true (``@PT``)."""
+        return self.pred == PT and not self.pred_neg
+
+    @property
+    def never_executes(self) -> bool:
+        """True when the guard is statically always-false (``@!PT``)."""
+        return self.pred == PT and self.pred_neg
+
+    def reg_uses(self) -> tuple[int, ...]:
+        """Architecturally-read register indices (RZ excluded)."""
+        return tuple(r for r in self.srcs if r != RZ)
+
+    def reg_defs(self) -> tuple[int, ...]:
+        """Register indices this instruction may write (RZ writes are
+        discarded by the register file and therefore excluded)."""
+        if self.info.writes_reg and self.dst != RZ:
+            return (self.dst,)
+        return ()
+
+    def pred_uses(self) -> tuple[int, ...]:
+        """Predicate registers read: the guard plus SEL's selector
+        (``PT`` is a constant, not a use)."""
+        uses = []
+        if self.pred != PT:
+            uses.append(self.pred)
+        if self.op is Op.SEL:
+            sel = self.aux & 7
+            if sel != PT:
+                uses.append(sel)
+        return tuple(uses)
+
+    def pred_defs(self) -> tuple[int, ...]:
+        """Predicate registers this instruction may write (writes to the
+        constant ``PT`` are discarded)."""
+        if self.info.writes_pred and self.pdst != PT:
+            return (self.pdst,)
+        return ()
+
     def __str__(self) -> str:  # pragma: no cover - debugging convenience
         guard = ""
         if self.pred != PT or self.pred_neg:

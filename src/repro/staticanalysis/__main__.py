@@ -1,0 +1,130 @@
+"""CLI: analyze and lint registered workload kernels.
+
+Examples::
+
+    python -m repro.staticanalysis                  # whole registry
+    python -m repro.staticanalysis vectoradd gemm   # specific workloads
+    python -m repro.staticanalysis --json bfs
+    python -m repro.staticanalysis --strict         # warnings also fail
+
+Exit status is 1 when any *error*-severity finding is reported (the
+seed kernels produce none), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.common.exceptions import ReproError
+from repro.common.rng import DEFAULT_SEED
+from repro.staticanalysis.cfg import CFG
+from repro.staticanalysis.lint import lint_program
+from repro.staticanalysis.liveness import Liveness
+from repro.workloads.registry import iter_workloads, workload_names
+
+
+def analyze_workload(name: str, workload) -> dict:
+    """Full analysis of one workload: per-kernel CFG, liveness, lint."""
+    kernels = {}
+    for kname, program in sorted(workload.programs().items()):
+        program.validate()
+        cfg = CFG(program)
+        liveness = Liveness(program, cfg)
+        findings = lint_program(program, cfg, liveness)
+        kernels[kname] = {
+            "instructions": len(program.instructions),
+            "nregs": program.nregs,
+            "max_reg_used": liveness.max_reg_used(),
+            "shared_words": program.shared_words,
+            "cfg": cfg.summary(),
+            "dead_writes": len(liveness.dead_writes()),
+            "undefined_reads": len(liveness.chains.undefined_reads),
+            "findings": [
+                {"rule": f.rule, "severity": f.severity, "pc": f.pc,
+                 "message": f.message}
+                for f in findings
+            ],
+        }
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for k in kernels.values():
+        for f in k["findings"]:
+            counts[f["severity"]] += 1
+    return {"workload": name, "kernels": kernels, "severity_counts": counts}
+
+
+def _print_text(report: dict, verbose: bool) -> None:
+    counts = report["severity_counts"]
+    print(f"== {report['workload']}: {len(report['kernels'])} kernel(s), "
+          f"{counts['error']} error(s), {counts['warning']} warning(s), "
+          f"{counts['info']} info")
+    for kname, k in report["kernels"].items():
+        c = k["cfg"]
+        print(f"  {kname}: {k['instructions']} instr, {c['blocks']} blocks, "
+              f"{c['edges']} edges, {c['loops']} loop(s), "
+              f"{c['divergent_branches']} divergent branch(es), "
+              f"regs {k['max_reg_used'] + 1}/{k['nregs']}, "
+              f"{k['dead_writes']} dead write(s)")
+        for f in k["findings"]:
+            if f["severity"] == "info" and not verbose:
+                continue
+            where = f"@{f['pc']}" if f["pc"] is not None else ""
+            print(f"    [{f['rule']}] {f['severity']}{where}: "
+                  f"{f['message']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticanalysis",
+        description="CFG/liveness analyzer and linter for workload "
+                    "kernels.")
+    parser.add_argument("workloads", nargs="*",
+                        help="workload names (default: the whole registry)")
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also print info-severity findings")
+    args = parser.parse_args(argv)
+
+    names = args.workloads or workload_names()
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        print(f"error: unknown workload(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    for name, workload in iter_workloads(scale=args.scale, seed=args.seed,
+                                         names=names):
+        try:
+            reports.append(analyze_workload(name, workload))
+        except ReproError as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        print(json.dumps({"scale": args.scale, "seed": args.seed,
+                          "reports": reports}, indent=2))
+    else:
+        for report in reports:
+            _print_text(report, args.verbose)
+
+    errors = sum(r["severity_counts"]["error"] for r in reports)
+    warnings = sum(r["severity_counts"]["warning"] for r in reports)
+    total_kernels = sum(len(r["kernels"]) for r in reports)
+    if not args.json:
+        print(f"analyzed {total_kernels} kernel(s) across {len(reports)} "
+              f"workload(s): {errors} error(s), {warnings} warning(s)")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,308 @@
+"""Control-flow graph construction over :class:`repro.isa.Program`.
+
+The builder recovers basic blocks from the flat instruction stream using
+branch targets, reconvergence annotations and (un)conditional EXITs as
+leaders, then computes the standard whole-graph analyses the linter and
+the injection-site pruner consume: reachability, dominators,
+post-dominators (against a virtual exit node), natural loops and the
+divergence region of every potentially-divergent branch.
+
+SIMT specifics encoded here rather than in a generic CFG textbook:
+
+* A ``BRA`` guarded by ``@PT`` is always taken (single successor); one
+  guarded by ``@!PT`` is never taken (fall-through only); any other
+  guard yields both edges.
+* An ``EXIT`` guarded by ``@PT`` terminates the block with no
+  successors.  A *predicated* EXIT only retires some lanes, so the
+  block falls through like a normal instruction.
+* ``reconv_pc`` annotations start new blocks so a divergent branch's
+  reconvergence point is always a block leader; ``reconv_pc == len(p)``
+  (reconverge-at-end) is legal and maps to the virtual exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import PT, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+#: Node id used for the virtual exit in post-dominator computations.
+VIRTUAL_EXIT = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` is inclusive, ``end`` exclusive. ``succs``/``preds`` are
+    block indices.  ``terminal`` marks a block ending in an
+    unconditional EXIT; ``falls_off`` marks a block whose fall-through
+    successor would be past the end of the program (a guaranteed
+    watchdog hang for any lane that reaches it).
+    """
+
+    index: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    terminal: bool = False
+    falls_off: bool = False
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass
+class Divergence:
+    """One potentially-divergent conditional branch.
+
+    ``reconv_pc is None`` means the builder asserted warp-uniformity
+    (the executor raises ``ControlFlowCorruptionError`` if that promise
+    is broken at run time), so no region is recorded for it.
+    """
+
+    pc: int
+    block: int
+    reconv_pc: int | None
+    #: blocks reachable between the branch and its reconvergence point
+    region: frozenset[int] = frozenset()
+
+
+class CFG:
+    """Basic-block control-flow graph plus derived analyses."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.blocks: list[BasicBlock] = []
+        #: block index of every pc
+        self.block_of_pc: list[int] = []
+        self._build()
+        self.reachable: frozenset[int] = self._reachable_from(0)
+        self.dominators = self._dominators()
+        self.post_dominators = self._post_dominators()
+        self.back_edges = self._back_edges()
+        self.loops = self._natural_loops()
+        self.divergences = self._divergences()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        instrs = self.program.instructions
+        n = len(instrs)
+        leaders = {0}
+        for pc, instr in enumerate(instrs):
+            if instr.op is Op.BRA:
+                leaders.add(instr.imm)
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            elif instr.op is Op.EXIT and instr.is_unconditional:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            if instr.reconv_pc is not None and instr.reconv_pc < n:
+                leaders.add(instr.reconv_pc)
+        starts = sorted(leaders)
+        bounds = starts + [n]
+        self.block_of_pc = [0] * n
+        for i, start in enumerate(starts):
+            end = bounds[i + 1]
+            blk = BasicBlock(index=i, start=start, end=end)
+            self.blocks.append(blk)
+            for pc in range(start, end):
+                self.block_of_pc[pc] = i
+        for blk in self.blocks:
+            self._wire_successors(blk, instrs, n)
+        for blk in self.blocks:
+            for s in blk.succs:
+                self.blocks[s].preds.append(blk.index)
+
+    def _wire_successors(self, blk: BasicBlock, instrs: list[Instruction],
+                         n: int) -> None:
+        term = instrs[blk.end - 1]
+        if term.op is Op.BRA:
+            taken = self.block_of_pc[term.imm]
+            if term.is_unconditional:
+                blk.succs = [taken]
+            elif term.never_executes:
+                self._fallthrough(blk, n)
+            else:
+                self._fallthrough(blk, n)
+                if taken not in blk.succs:
+                    blk.succs.append(taken)
+        elif term.op is Op.EXIT and term.is_unconditional:
+            blk.terminal = True
+        else:
+            self._fallthrough(blk, n)
+
+    def _fallthrough(self, blk: BasicBlock, n: int) -> None:
+        if blk.end < n:
+            blk.succs.append(self.block_of_pc[blk.end])
+        else:
+            blk.falls_off = True
+
+    # -- analyses ------------------------------------------------------
+
+    def _reachable_from(self, root: int) -> frozenset[int]:
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].succs)
+        return frozenset(seen)
+
+    def _dominators(self) -> dict[int, frozenset[int]]:
+        """Iterative dataflow over the reachable subgraph.
+
+        Unreachable blocks get an empty dominator set (they have no
+        executions, so every property holds vacuously; the linter flags
+        them separately).
+        """
+        reach = self.reachable
+        full = frozenset(reach)
+        dom: dict[int, frozenset[int]] = {
+            b: (frozenset({b}) if b == 0 else full) for b in reach}
+        changed = True
+        while changed:
+            changed = False
+            for b in sorted(reach):
+                if b == 0:
+                    continue
+                preds = [p for p in self.blocks[b].preds if p in reach]
+                new = frozenset({b})
+                if preds:
+                    inter = dom[preds[0]]
+                    for p in preds[1:]:
+                        inter = inter & dom[p]
+                    new = new | inter
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        for b in range(len(self.blocks)):
+            dom.setdefault(b, frozenset())
+        return dom
+
+    def _post_dominators(self) -> dict[int, frozenset[int]]:
+        """Post-dominators against a :data:`VIRTUAL_EXIT` node.
+
+        Both terminal blocks (unconditional EXIT) and fall-off-end
+        blocks feed the virtual exit so the reverse graph always has a
+        single sink; blocks trapped in infinite loops post-dominate
+        nothing useful and keep the full set (bottom).
+        """
+        nodes = set(range(len(self.blocks))) | {VIRTUAL_EXIT}
+        rsuccs: dict[int, list[int]] = {b: [] for b in nodes}  # reverse edges
+        for blk in self.blocks:
+            outs = list(blk.succs)
+            if blk.terminal or blk.falls_off:
+                outs.append(VIRTUAL_EXIT)
+            for s in outs:
+                rsuccs[s].append(blk.index)
+        full = frozenset(nodes)
+        pdom: dict[int, frozenset[int]] = {
+            b: (frozenset({b}) if b == VIRTUAL_EXIT else full) for b in nodes}
+        changed = True
+        while changed:
+            changed = False
+            for b in nodes:
+                if b == VIRTUAL_EXIT:
+                    continue
+                outs = list(self.blocks[b].succs)
+                if self.blocks[b].terminal or self.blocks[b].falls_off:
+                    outs.append(VIRTUAL_EXIT)
+                new = frozenset({b})
+                if outs:
+                    inter = pdom[outs[0]]
+                    for s in outs[1:]:
+                        inter = inter & pdom[s]
+                    new = new | inter
+                if new != pdom[b]:
+                    pdom[b] = new
+                    changed = True
+        return pdom
+
+    def _back_edges(self) -> list[tuple[int, int]]:
+        return [(blk.index, s) for blk in self.blocks for s in blk.succs
+                if blk.index in self.reachable and s in self.dominators.get(
+                    blk.index, frozenset())]
+
+    def _natural_loops(self) -> list[frozenset[int]]:
+        loops = []
+        for tail, head in self.back_edges:
+            body = {head, tail}
+            stack = [tail]
+            while stack:
+                b = stack.pop()
+                for p in self.blocks[b].preds:
+                    if p not in body and p in self.reachable:
+                        body.add(p)
+                        stack.append(p)
+            loops.append(frozenset(body))
+        return loops
+
+    def _divergences(self) -> list[Divergence]:
+        out = []
+        n = len(self.program.instructions)
+        for blk in self.blocks:
+            term = self.program.instructions[blk.end - 1]
+            if term.op is not Op.BRA or len(blk.succs) < 2:
+                continue
+            rpc = term.reconv_pc
+            region: set[int] = set()
+            if rpc is not None:
+                stop = self.block_of_pc[rpc] if rpc < n else VIRTUAL_EXIT
+                stack = list(blk.succs)
+                while stack:
+                    b = stack.pop()
+                    if b == stop or b in region:
+                        continue
+                    region.add(b)
+                    stack.extend(self.blocks[b].succs)
+            out.append(Divergence(pc=blk.end - 1, block=blk.index,
+                                  reconv_pc=rpc, region=frozenset(region)))
+        return out
+
+    # -- queries used by the linter ------------------------------------
+
+    def exit_pcs(self) -> list[int]:
+        """pcs of every EXIT instruction (predicated or not)."""
+        return [pc for pc, i in enumerate(self.program.instructions)
+                if i.op is Op.EXIT and not i.never_executes]
+
+    def blocks_reaching_exit(self) -> frozenset[int]:
+        """Blocks from which *some* path reaches an EXIT instruction."""
+        have_exit = {self.block_of_pc[pc] for pc in self.exit_pcs()}
+        good = set(have_exit)
+        changed = True
+        while changed:
+            changed = False
+            for blk in self.blocks:
+                if blk.index in good:
+                    continue
+                if any(s in good for s in blk.succs):
+                    good.add(blk.index)
+                    changed = True
+        return frozenset(good)
+
+    def edge_count(self) -> int:
+        return sum(len(b.succs) for b in self.blocks)
+
+    def summary(self) -> dict:
+        return {
+            "blocks": len(self.blocks),
+            "edges": self.edge_count(),
+            "reachable_blocks": len(self.reachable),
+            "loops": len(self.loops),
+            "divergent_branches": len(self.divergences),
+        }
+
+
+def build_cfg(program: Program) -> CFG:
+    """Convenience wrapper: ``CFG(program)`` with validation first."""
+    program.validate()
+    return CFG(program)

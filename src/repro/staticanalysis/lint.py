@@ -1,0 +1,313 @@
+"""Rule-based kernel linter over the CFG/liveness/uniformity analyses.
+
+Severities
+----------
+``error``
+    A structural defect that guarantees wrong behaviour on some lane if
+    the code is reached: control flow that can never EXIT or falls off
+    the end of the program, and statically-resolvable out-of-bounds or
+    misaligned shared-memory accesses.  The registered seed kernels
+    produce zero errors; ``python -m repro.staticanalysis`` exits
+    non-zero when any appear.
+``warning``
+    A hazard that depends on runtime values the analysis cannot see:
+    barriers under potentially-divergent control flow, predicated
+    barriers, potentially-divergent branches carrying no reconvergence
+    annotation (the executor treats divergence there as fatal).
+``info``
+    Style/efficiency findings that are legal by construction: dead
+    register writes, reads of never-written registers (they observe the
+    architectural zero init), over-allocated ``nregs``.
+
+The divergence-sensitive rules use a warp-uniformity dataflow: a value
+is *uniform* when every lane of a warp provably holds the same value.
+Lane-indexed special registers (``TID_*``, ``LANEID``) and data loaded
+from global/shared memory are non-uniform sources; constants, kernel
+parameters (``LDC`` from a uniform address) and CTA-indexed special
+registers are uniform; ALU results inherit uniformity from operands and
+predicated writes additionally require a uniform guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import PT, RZ, Instruction
+from repro.isa.opcodes import Op, SpecialReg
+from repro.isa.program import Program
+from repro.staticanalysis.cfg import CFG
+from repro.staticanalysis.liveness import Liveness
+
+#: special registers whose value differs between lanes of one warp
+_LANE_VARIANT_SREGS = frozenset({
+    SpecialReg.TID_X, SpecialReg.TID_Y, SpecialReg.TID_Z, SpecialReg.LANEID,
+})
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    severity: str
+    pc: int | None
+    message: str
+
+    def render(self, program_name: str) -> str:
+        where = f"@{self.pc}" if self.pc is not None else ""
+        return (f"[{self.rule}] {self.severity} "
+                f"{program_name}{where}: {self.message}")
+
+
+class Uniformity:
+    """Forward warp-uniformity dataflow (True = provably uniform)."""
+
+    def __init__(self, program: Program, cfg: CFG):
+        self.program = program
+        self.cfg = cfg
+        nb = len(cfg.blocks)
+        # optimistic init; the transfer only flips True -> False, and the
+        # meet is AND, so the fixpoint is the greatest (most precise) one
+        self.reg_in = np.ones((nb, program.nregs), dtype=bool)
+        self.pred_in = np.ones((nb, 8), dtype=bool)
+        self._solve()
+
+    def _value_uniform(self, instr: Instruction, reg_u: np.ndarray,
+                       pred_u: np.ndarray) -> bool:
+        if instr.op is Op.S2R:
+            return SpecialReg(instr.aux) not in _LANE_VARIANT_SREGS
+        if instr.op in (Op.GLD, Op.LDS):
+            return False
+        srcs_uniform = all(reg_u[r] for r in instr.reg_uses()
+                           if r < self.program.nregs)
+        if instr.op is Op.LDC:
+            return srcs_uniform  # constant memory: uniform addr, uniform data
+        if instr.op is Op.SEL:
+            sel = instr.aux & 7
+            if sel != PT and not pred_u[sel]:
+                return False
+        return srcs_uniform
+
+    def _transfer(self, instr: Instruction, reg_u: np.ndarray,
+                  pred_u: np.ndarray) -> None:
+        if instr.never_executes:
+            return
+        guard_u = instr.pred == PT or bool(pred_u[instr.pred])
+        value_u = self._value_uniform(instr, reg_u, pred_u)
+        for r in instr.reg_defs():
+            if instr.is_unconditional:
+                reg_u[r] = value_u
+            elif guard_u:
+                reg_u[r] = value_u and reg_u[r]
+            else:
+                reg_u[r] = False
+        for p in instr.pred_defs():
+            if instr.is_unconditional:
+                pred_u[p] = value_u
+            elif guard_u:
+                pred_u[p] = value_u and pred_u[p]
+            else:
+                pred_u[p] = False
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for blk in self.cfg.blocks:
+                reg_u = self.reg_in[blk.index].copy()
+                pred_u = self.pred_in[blk.index].copy()
+                for pc in blk.pcs:
+                    self._transfer(self.program.instructions[pc],
+                                   reg_u, pred_u)
+                for s in blk.succs:
+                    new_reg = self.reg_in[s] & reg_u
+                    new_pred = self.pred_in[s] & pred_u
+                    if (new_reg != self.reg_in[s]).any() or \
+                            (new_pred != self.pred_in[s]).any():
+                        self.reg_in[s] = new_reg
+                        self.pred_in[s] = new_pred
+                        changed = True
+
+    def guard_uniform_at(self, pc: int) -> bool:
+        """Is the guard predicate of instruction *pc* provably uniform?"""
+        instr = self.program.instructions[pc]
+        if instr.pred == PT:
+            return True
+        blk = self.cfg.blocks[self.cfg.block_of_pc[pc]]
+        reg_u = self.reg_in[blk.index].copy()
+        pred_u = self.pred_in[blk.index].copy()
+        for p in range(blk.start, pc):
+            self._transfer(self.program.instructions[p], reg_u, pred_u)
+        return bool(pred_u[instr.pred])
+
+
+def lint_program(program: Program, cfg: CFG | None = None,
+                 liveness: Liveness | None = None) -> list[Finding]:
+    """Run every lint rule; returns findings sorted by severity then pc."""
+    program.validate()
+    cfg = cfg if cfg is not None else CFG(program)
+    liveness = liveness if liveness is not None else Liveness(program, cfg)
+    uniformity = Uniformity(program, cfg)
+    findings: list[Finding] = []
+    findings += _check_termination(program, cfg)
+    findings += _check_reachability(cfg)
+    findings += _check_memory(program)
+    findings += _check_barriers(program, cfg, uniformity)
+    findings += _check_divergence_annotations(program, cfg, uniformity)
+    findings += _check_dataflow(program, liveness)
+    findings += _check_register_pressure(program, liveness)
+    order = {s: i for i, s in enumerate(SEVERITIES)}
+    findings.sort(key=lambda f: (order[f.severity], f.pc if f.pc is not None
+                                 else -1, f.rule))
+    return findings
+
+
+# -- rules -------------------------------------------------------------
+
+def _check_termination(program: Program, cfg: CFG) -> list[Finding]:
+    out = []
+    reaching = cfg.blocks_reaching_exit()
+    for blk in cfg.blocks:
+        if blk.index not in cfg.reachable:
+            continue
+        if blk.falls_off:
+            last = program.instructions[blk.end - 1]
+            if last.op is Op.EXIT:
+                out.append(Finding(
+                    "SA-W203", "warning", blk.end - 1,
+                    "program ends in a predicated EXIT; lanes with a false "
+                    "guard fall off the end and hang"))
+            else:
+                out.append(Finding(
+                    "SA-E101", "error", blk.end - 1,
+                    "execution can fall off the end of the program "
+                    "(watchdog hang)"))
+        if blk.index not in reaching and not blk.falls_off:
+            out.append(Finding(
+                "SA-E102", "error", blk.start,
+                f"no path from block {blk.index} (pc {blk.start}) reaches "
+                f"an EXIT instruction (guaranteed hang)"))
+    if 0 in cfg.reachable and 0 not in reaching and \
+            not any(f.rule == "SA-E102" and f.pc == 0 for f in out):
+        out.append(Finding(
+            "SA-E102", "error", 0,
+            "no path from the entry block reaches an EXIT instruction"))
+    return out
+
+
+def _check_reachability(cfg: CFG) -> list[Finding]:
+    return [
+        Finding("SA-W201", "warning", blk.start,
+                f"block {blk.index} (pc {blk.start}..{blk.end - 1}) is "
+                f"unreachable from the entry")
+        for blk in cfg.blocks if blk.index not in cfg.reachable
+    ]
+
+
+def _check_memory(program: Program) -> list[Finding]:
+    """Statically-resolvable shared-memory violations.
+
+    Only addresses of the form ``[RZ + imm]`` are fully static; anything
+    through a register base depends on runtime values and is left to the
+    simulator's bounds checks (which classify as DUE).
+    """
+    out = []
+    uses_shared = False
+    for pc, instr in enumerate(program.instructions):
+        if instr.op not in (Op.LDS, Op.STS):
+            continue
+        uses_shared = True
+        base = instr.srcs[0]  # mem ops: src0 is the address base
+        if base != RZ:
+            continue
+        addr = instr.imm
+        if addr % 4:
+            out.append(Finding(
+                "SA-E103", "error", pc,
+                f"misaligned shared-memory access at static byte address "
+                f"0x{addr:x}"))
+        elif program.shared_words and addr // 4 >= program.shared_words:
+            out.append(Finding(
+                "SA-E104", "error", pc,
+                f"shared-memory access at static word {addr // 4} exceeds "
+                f"declared shared_words={program.shared_words}"))
+    if uses_shared and not program.shared_words:
+        out.append(Finding(
+            "SA-I301", "info", None,
+            "kernel uses shared memory but declares shared_words=0 "
+            "(size must come from the launch)"))
+    return out
+
+
+def _check_barriers(program: Program, cfg: CFG,
+                    uniformity: Uniformity) -> list[Finding]:
+    out = []
+    bar_pcs = [pc for pc, i in enumerate(program.instructions)
+               if i.op is Op.BAR]
+    for pc in bar_pcs:
+        instr = program.instructions[pc]
+        if instr.pred != PT:
+            out.append(Finding(
+                "SA-W202", "warning", pc,
+                "predicated barrier: lanes with a false guard skip the "
+                "rendezvous while others wait"))
+    for div in cfg.divergences:
+        if uniformity.guard_uniform_at(div.pc):
+            continue
+        for b in div.region:
+            for pc in cfg.blocks[b].pcs:
+                if program.instructions[pc].op is Op.BAR:
+                    out.append(Finding(
+                        "SA-W204", "warning", pc,
+                        f"barrier inside the potentially-divergent region "
+                        f"of the branch at pc {div.pc} (reconverges at "
+                        f"{div.reconv_pc})"))
+    return out
+
+
+def _check_divergence_annotations(program: Program, cfg: CFG,
+                                  uniformity: Uniformity) -> list[Finding]:
+    out = []
+    for div in cfg.divergences:
+        if div.reconv_pc is None and not uniformity.guard_uniform_at(div.pc):
+            out.append(Finding(
+                "SA-W205", "warning", div.pc,
+                "conditional branch with no reconvergence annotation and a "
+                "guard not provably warp-uniform; the executor faults if "
+                "it diverges at runtime"))
+    return out
+
+
+def _check_dataflow(program: Program, liveness: Liveness) -> list[Finding]:
+    out = []
+    for pc, reg in liveness.dead_writes():
+        out.append(Finding(
+            "SA-I302", "info", pc,
+            f"dead write: R{reg} is never read after this instruction"))
+    for pc, reg in liveness.chains.undefined_reads:
+        out.append(Finding(
+            "SA-I303", "info", pc,
+            f"R{reg} is read but never written on any path; it reads the "
+            f"architectural init value 0"))
+    return out
+
+
+def _check_register_pressure(program: Program,
+                             liveness: Liveness) -> list[Finding]:
+    used = liveness.max_reg_used() + 1
+    if program.nregs - used > 8:
+        return [Finding(
+            "SA-I304", "info", None,
+            f"nregs={program.nregs} but only R0..R{used - 1} are "
+            f"referenced; {program.nregs - used} registers are "
+            f"over-allocated")]
+    return []
+
+
+def max_severity(findings: list[Finding]) -> str | None:
+    for sev in SEVERITIES:
+        if any(f.severity == sev for f in findings):
+            return sev
+    return None

@@ -1,0 +1,220 @@
+"""Backward liveness and def-use chains with SIMT-conservative kills.
+
+The transfer functions differ from a scalar compiler's in two ways that
+matter for soundness of the fault-space pruner built on top:
+
+* A *predicated* definition (``@P3 MOV R4, ...``) does **not** kill the
+  destination: lanes whose guard is false keep the old value, so the
+  previous definition may still be observed downstream.  Only ``@PT``
+  definitions kill.
+* Register liveness is tracked per architectural register across the
+  whole warp — there is no per-lane refinement.  This over-approximates
+  liveness, which is the safe direction: a register we report *dead* is
+  dead for every lane on every path.
+
+Registers are dead at kernel exit: workload outputs leave the device
+through global-memory stores, never through register state (see
+``Workload.run``).  Predicates are tracked with the same rules over the
+8-entry predicate file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.staticanalysis.cfg import CFG
+
+
+def _reg_uses(instr: Instruction, nregs: int) -> tuple[int, ...]:
+    return tuple(r for r in instr.reg_uses() if r < nregs)
+
+
+@dataclass
+class DefUseChains:
+    """Reaching-definition links: ``uses_of[def_pc]`` lists every pc that
+    may observe the value written at ``def_pc``; ``undefined_reads``
+    lists ``(pc, reg)`` register reads with no reaching definition on
+    any path (they observe the architectural init value of 0)."""
+
+    uses_of: dict[int, list[int]] = field(default_factory=dict)
+    undefined_reads: list[tuple[int, int]] = field(default_factory=list)
+
+
+class Liveness:
+    """Per-instruction liveness for registers and predicates.
+
+    ``reg_live_out[pc, r]`` is True when register ``r`` may be read
+    after instruction ``pc`` executes (along some path, by some lane).
+    ``pred_live_out[pc, p]`` is the same for predicate registers.
+    """
+
+    def __init__(self, program: Program, cfg: CFG | None = None):
+        self.program = program
+        self.cfg = cfg if cfg is not None else CFG(program)
+        n = len(program.instructions)
+        self.reg_live_in = np.zeros((n, program.nregs), dtype=bool)
+        self.reg_live_out = np.zeros((n, program.nregs), dtype=bool)
+        self.pred_live_in = np.zeros((n, 8), dtype=bool)
+        self.pred_live_out = np.zeros((n, 8), dtype=bool)
+        self._solve()
+        self.chains = self._def_use_chains()
+
+    # -- backward liveness ---------------------------------------------
+
+    def _transfer(self, pc: int, reg_live: np.ndarray,
+                  pred_live: np.ndarray) -> None:
+        """In-place backward transfer through instruction *pc*."""
+        instr = self.program.instructions[pc]
+        if instr.is_unconditional:
+            for r in instr.reg_defs():
+                reg_live[r] = False
+            for p in instr.pred_defs():
+                pred_live[p] = False
+        for r in _reg_uses(instr, self.program.nregs):
+            reg_live[r] = True
+        for p in instr.pred_uses():
+            pred_live[p] = True
+
+    def _solve(self) -> None:
+        blocks = self.cfg.blocks
+        nb = len(blocks)
+        reg_in = np.zeros((nb, self.program.nregs), dtype=bool)
+        pred_in = np.zeros((nb, 8), dtype=bool)
+        changed = True
+        while changed:
+            changed = False
+            for blk in reversed(blocks):
+                reg = np.zeros(self.program.nregs, dtype=bool)
+                pred = np.zeros(8, dtype=bool)
+                for s in blk.succs:
+                    reg |= reg_in[s]
+                    pred |= pred_in[s]
+                for pc in reversed(blk.pcs):
+                    self._transfer(pc, reg, pred)
+                if (reg != reg_in[blk.index]).any() or \
+                        (pred != pred_in[blk.index]).any():
+                    reg_in[blk.index] = reg
+                    pred_in[blk.index] = pred
+                    changed = True
+        # second pass: record per-instruction in/out from the fixpoint
+        for blk in blocks:
+            reg = np.zeros(self.program.nregs, dtype=bool)
+            pred = np.zeros(8, dtype=bool)
+            for s in blk.succs:
+                reg |= reg_in[s]
+                pred |= pred_in[s]
+            for pc in reversed(blk.pcs):
+                self.reg_live_out[pc] = reg
+                self.pred_live_out[pc] = pred
+                self._transfer(pc, reg, pred)
+                self.reg_live_in[pc] = reg
+                self.pred_live_in[pc] = pred
+
+    # -- queries -------------------------------------------------------
+
+    def dead_writes(self) -> list[tuple[int, int]]:
+        """``(pc, reg)`` register writes whose value is provably never
+        read on any path (sound under the conservative transfer)."""
+        out = []
+        for pc, instr in enumerate(self.program.instructions):
+            if instr.never_executes:
+                continue
+            for r in instr.reg_defs():
+                if not self.reg_live_out[pc, r]:
+                    out.append((pc, r))
+        return out
+
+    def dead_pred_writes(self) -> list[tuple[int, int]]:
+        out = []
+        for pc, instr in enumerate(self.program.instructions):
+            if instr.never_executes:
+                continue
+            for p in instr.pred_defs():
+                if not self.pred_live_out[pc, p]:
+                    out.append((pc, p))
+        return out
+
+    # -- reaching definitions / def-use chains -------------------------
+
+    def _def_use_chains(self) -> DefUseChains:
+        """Forward reaching-definitions over register def sites.
+
+        Predicated defs *generate* but do not *kill* (merge semantics);
+        block meet is union.  Uses with an empty reaching set read the
+        architectural zero-init.
+        """
+        blocks = self.cfg.blocks
+        prog = self.program
+        nb = len(blocks)
+        # block-level fixpoint: reaching def pcs per register
+        reach_in: list[dict[int, frozenset[int]]] = [dict() for _ in range(nb)]
+
+        def flow(defs: dict[int, frozenset[int]], blk) -> dict:
+            cur = dict(defs)
+            for pc in blk.pcs:
+                instr = prog.instructions[pc]
+                if instr.never_executes:
+                    continue
+                for r in instr.reg_defs():
+                    if instr.is_unconditional:
+                        cur[r] = frozenset({pc})
+                    else:
+                        cur[r] = cur.get(r, frozenset()) | {pc}
+            return cur
+
+        changed = True
+        while changed:
+            changed = False
+            for blk in blocks:
+                out = flow(reach_in[blk.index], blk)
+                for s in blk.succs:
+                    merged = dict(reach_in[s])
+                    for r, pcs in out.items():
+                        merged[r] = merged.get(r, frozenset()) | pcs
+                    if merged != reach_in[s]:
+                        reach_in[s] = merged
+                        changed = True
+
+        chains = DefUseChains()
+        for pc, instr in enumerate(prog.instructions):
+            for r in instr.reg_defs():
+                chains.uses_of.setdefault(pc, [])
+        for blk in blocks:
+            cur = dict(reach_in[blk.index])
+            for pc in blk.pcs:
+                instr = prog.instructions[pc]
+                for r in _reg_uses(instr, prog.nregs):
+                    sites = cur.get(r, frozenset())
+                    if not sites:
+                        chains.undefined_reads.append((pc, r))
+                    for d in sites:
+                        chains.uses_of[d].append(pc)
+                if instr.never_executes:
+                    continue
+                for r in instr.reg_defs():
+                    if instr.is_unconditional:
+                        cur[r] = frozenset({pc})
+                    else:
+                        cur[r] = cur.get(r, frozenset()) | {pc}
+        for d, uses in chains.uses_of.items():
+            chains.uses_of[d] = sorted(set(uses))
+        return chains
+
+    def max_reg_used(self) -> int:
+        """Highest register index referenced (defs or uses); -1 if none."""
+        hi = -1
+        for instr in self.program.instructions:
+            for r in (*instr.reg_defs(), *_reg_uses(instr,
+                                                    self.program.nregs)):
+                hi = max(hi, r)
+        return hi
+
+
+def analyze(program: Program) -> Liveness:
+    """Validate, build the CFG and solve liveness in one call."""
+    program.validate()
+    return Liveness(program)

@@ -70,6 +70,11 @@ class SwCampaignConfig:
     processes: int = field(default_factory=default_processes)
     mem_words: int = DEFAULT_MEM_WORDS
     fail_fast: bool = True
+    #: skip simulating descriptors the static analyzer proves Masked
+    #: (:class:`repro.staticanalysis.StaticPruner`); they are recorded as
+    #: Masked outcomes, so every EPR denominator — and every EPR figure —
+    #: is identical to an unpruned campaign
+    static_prune: bool = False
 
 
 @dataclass
@@ -79,6 +84,8 @@ class InjectionOutcome:
     outcome: str
     due_reason: str | None = None
     activations: int = 0
+    #: True when the outcome was decided statically (never simulated)
+    pruned: bool = False
 
 
 @dataclass
@@ -118,6 +125,29 @@ class EprResult:
 #: kept under its historical name; the cache itself moved to repro.campaign
 _cached_workload = cached_workload
 
+#: per-process StaticPruner cache keyed by (app, scale, seed); building
+#: one costs a CFG + liveness solve per kernel, amortized over the whole
+#: (app, model) injection set
+_PRUNERS: dict[tuple[str, str, int], "object"] = {}
+
+
+def _pruner_for(app: str, scale: str, seed: int):
+    """Shared :class:`~repro.staticanalysis.StaticPruner` for a workload.
+
+    Imported lazily: ``repro.swinjector`` loads this module from its
+    package ``__init__``, and the pruner imports the injectors back from
+    this package.
+    """
+    key = (app, scale, seed)
+    pruner = _PRUNERS.get(key)
+    if pruner is None:
+        from repro.staticanalysis.prune import StaticPruner
+
+        w = cached_workload(app, scale, seed)
+        pruner = StaticPruner(w.programs().values())
+        _PRUNERS[key] = pruner
+    return pruner
+
 
 def _golden_bits(app: str, scale: str, seed: int, mem_words: int):
     """Golden output bits + dynamic instruction count (via the shared
@@ -155,23 +185,41 @@ def run_one_injection(app: str, model: ErrorModel, index: int,
 
 @register_runner("epr")
 def _run_epr_unit(payload: dict) -> dict:
-    """Engine runner: one chunk of injections for one (app, model)."""
+    """Engine runner: one chunk of injections for one (app, model).
+
+    With ``static_prune`` the unit first asks the static analyzer; a
+    descriptor proved statically Masked is recorded as a Masked outcome
+    with zero activations instead of being simulated. Unit ids and index
+    assignment are identical either way, so pruned and unpruned
+    campaigns (and resumes mixing the two) stay comparable
+    unit-for-unit.
+    """
     app = payload["app"]
     model = ErrorModel(payload["model"])
     scale, seed = payload["scale"], payload["seed"]
     mem_words = payload["mem_words"]
+    static_prune = bool(payload.get("static_prune", False))
     golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
     watchdog = 10 * golden.dynamic_instructions + 10_000
     cfg = SwCampaignConfig(apps=(app,), models=(model,), scale=scale,
                            seed=seed, mem_words=mem_words)
-    outcomes = [run_one_injection(app, model, i, cfg, golden.bits, watchdog)
-                for i in payload["indices"]]
+    pruner = _pruner_for(app, scale, seed) if static_prune else None
+    outcomes = []
+    for i in payload["indices"]:
+        if pruner is not None and pruner.statically_masked(
+                make_descriptor(model, seed, i)):
+            outcomes.append(InjectionOutcome(app, model, "masked",
+                                             pruned=True))
+        else:
+            outcomes.append(run_one_injection(app, model, i, cfg,
+                                              golden.bits, watchdog))
     return {
         "items": len(outcomes),
+        "pruned": sum(o.pruned for o in outcomes),
         "golden_digest": golden.digest,
         "outcomes": [
             {"outcome": o.outcome, "due_reason": o.due_reason,
-             "activations": o.activations}
+             "activations": o.activations, "pruned": o.pruned}
             for o in outcomes
         ],
     }
@@ -191,6 +239,7 @@ class EprCampaignSpec:
             "seed": DEFAULT_SEED,
             "mem_words": DEFAULT_MEM_WORDS,
             "chunk": DEFAULT_CHUNK,
+            "static_prune": False,
         }
         cfg.update({k: v for k, v in overrides.items() if v is not None})
         return cfg
@@ -209,6 +258,7 @@ class EprCampaignSpec:
             "seed": config.seed,
             "mem_words": config.mem_words,
             "chunk": chunk,
+            "static_prune": config.static_prune,
         }
 
     @staticmethod
@@ -232,7 +282,9 @@ class EprCampaignSpec:
                      payload={"app": app, "model": model, "indices": indices,
                               "scale": config["scale"],
                               "seed": config["seed"],
-                              "mem_words": config["mem_words"]})
+                              "mem_words": config["mem_words"],
+                              "static_prune": config.get("static_prune",
+                                                         False)})
             for uid, app, model, indices in self._iter_unit_specs(config)
         )
         return CampaignPlan(kind="epr", config=dict(config), units=units,
@@ -247,6 +299,7 @@ class EprCampaignSpec:
             injections_per_model=config["injections_per_model"],
             scale=config["scale"], seed=config["seed"],
             mem_words=config["mem_words"],
+            static_prune=config.get("static_prune", False),
         )
         result = EprResult(config=cfg)
         for uid, app, model, _ in self._iter_unit_specs(config):
@@ -257,12 +310,14 @@ class EprCampaignSpec:
                 result.outcomes.append(InjectionOutcome(
                     app=app, model=ErrorModel(model), outcome=o["outcome"],
                     due_reason=o["due_reason"],
-                    activations=o["activations"]))
+                    activations=o["activations"],
+                    pruned=o.get("pruned", False)))
         return result
 
     def summarize(self, result: EprResult) -> dict:
         return {
             "injections": len(result.outcomes),
+            "pruned": sum(o.pruned for o in result.outcomes),
             "overall_epr_%": round(result.overall_epr(), 2),
             "outcome_counts": dict(Counter(o.outcome
                                            for o in result.outcomes)),

@@ -21,6 +21,7 @@ from repro.workloads.registry import (
     EVALUATION_APPS,
     PROFILING_WORKLOADS,
     get_workload,
+    iter_workloads,
     workload_names,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "EVALUATION_APPS",
     "PROFILING_WORKLOADS",
     "get_workload",
+    "iter_workloads",
     "workload_names",
 ]

@@ -65,6 +65,18 @@ def workload_names() -> list[str]:
     return list(EVALUATION_APPS) + list(_profiling_workloads())
 
 
+def iter_workloads(scale: str = "tiny", seed: int | None = None,
+                   names: list[str] | None = None):
+    """Yield ``(name, workload)`` for every registered workload.
+
+    Every workload defines a ``tiny`` scale, so the default is safe for
+    tools that must see the whole registry (the static-analysis CLI and
+    its lint gate).
+    """
+    for name in (names if names is not None else workload_names()):
+        yield name, get_workload(name, scale=scale, seed=seed)
+
+
 #: lazily resolved view used by __init__ re-export
 class _ProfilingView(dict):
     def __missing__(self, key):

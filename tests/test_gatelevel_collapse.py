@@ -1,0 +1,256 @@
+"""Tests for structural stuck-at fault collapsing (`gatelevel.faults`).
+
+Covers the primary-output observation-count regression in
+``collapse_faults`` plus the newer structural reductions:
+controlling-value equivalence collapsing and output-cone
+untestable-fault pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gatelevel import (
+    CircuitBuilder,
+    FaultBatch,
+    GateType,
+    LogicSim,
+    StuckAtFault,
+    collapse_faults,
+    full_fault_list,
+)
+from repro.gatelevel.faults import (
+    equivalence_collapse,
+    observable_nets,
+    observation_counts,
+    prune_untestable,
+    structural_fault_list,
+)
+from repro.gatelevel.netlist import Bus
+from repro.gatelevel.units import build_unit
+
+
+class TestObservationCounts:
+    def test_gate_pins_counted(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        x = b.bitwise(GateType.AND, a, a)  # a feeds two pins of one gate
+        b.output("y", x)
+        nl = b.build()
+        counts = observation_counts(nl)
+        assert counts[nl.inputs["a"][0]] == 2
+
+    def test_primary_output_membership_counted(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(a)
+        b.output("a_pass", a)  # a is observed directly AND through the BUF
+        b.output("y", y)
+        nl = b.build()
+        counts = observation_counts(nl)
+        assert counts[nl.inputs["a"][0]] == 2
+
+    def test_dff_d_pin_counted(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.dff()
+        b.connect_dff(q, a)
+        b.output("q", q)
+        nl = b.build()
+        counts = observation_counts(nl)
+        assert counts[nl.inputs["a"][0]] == 1  # the D pin
+
+
+class TestCollapseFaults:
+    def test_po_net_not_merged_into_consumer(self):
+        """Regression: a net that is both a primary output and a BUF input
+        must keep its own faults — they are distinguishable at that output.
+        Earlier revisions counted only gate pins, saw fanout 1 and merged."""
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(a)
+        b.output("a_pass", a)
+        b.output("y", y)
+        nl = b.build()
+        collapsed = collapse_faults(nl, full_fault_list(nl))
+        assert len(collapsed) == 4  # a/SA0, a/SA1, y/SA0, y/SA1 all distinct
+
+    def test_po_faults_are_genuinely_distinguishable(self):
+        """Behavioral witness for the regression above: a/SA0 corrupts the
+        direct output, y/SA0 (the BUF output) does not."""
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(a)
+        b.output("a_pass", a)
+        b.output("y", y)
+        nl = b.build()
+        a_net = nl.inputs["a"][0]
+        y_net = nl.outputs["y"][0]
+        sim = LogicSim(nl, num_words=1)
+        sim.set_faults(FaultBatch([StuckAtFault(a_net, 0),
+                                   StuckAtFault(y_net, 0)], num_words=1))
+        out = sim.cycle({"a": 1})
+        direct = sim.lane_values(out["a_pass"], 2)
+        np.testing.assert_array_equal(direct, [0, 1])  # only a/SA0 hits it
+
+    def test_buffer_chain_still_collapses(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(b.buf(a))
+        b.output("y", y)
+        nl = b.build()
+        assert len(collapse_faults(nl, full_fault_list(nl))) == 2
+
+    def test_dff_d_shared_net_not_merged(self):
+        """A net feeding both a BUF and a DFF D pin has two observation
+        points; the BUF-output fault must not merge back into it."""
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(a)
+        q = b.dff()
+        b.connect_dff(q, a)
+        b.output("y", y)
+        b.output("q", q)
+        nl = b.build()
+        collapsed = collapse_faults(nl, full_fault_list(nl))
+        nets = {f.net for f in collapsed}
+        assert nl.outputs["y"][0] in nets
+        assert nl.inputs["a"][0] in nets
+
+
+class TestEquivalenceCollapse:
+    def _pair(self, gate_type):
+        """Two-input gate, inputs a/b, output y; return (netlist, a-net)."""
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        c = b.input("b")
+        y = b.bitwise(gate_type, a, c)
+        b.output("y", y)
+        return b.build()
+
+    @pytest.mark.parametrize("gate_type,ctrl,forced", [
+        (GateType.AND, 0, 0),
+        (GateType.NAND, 0, 1),
+        (GateType.OR, 1, 1),
+        (GateType.NOR, 1, 0),
+    ])
+    def test_controlling_value_rules(self, gate_type, ctrl, forced):
+        nl = self._pair(gate_type)
+        a_net = nl.inputs["a"][0]
+        out_net = nl.outputs["y"][0]
+        collapsed = equivalence_collapse(nl, full_fault_list(nl))
+        keys = {(f.net, f.stuck_at) for f in collapsed}
+        # input stuck at the controlling value migrated onto the output
+        assert (a_net, ctrl) not in keys
+        assert (out_net, forced) in keys
+        # non-controlling input faults stay where they are
+        assert (a_net, ctrl ^ 1) in keys
+
+    def test_xor_not_collapsed(self):
+        nl = self._pair(GateType.XOR)
+        collapsed = equivalence_collapse(nl, full_fault_list(nl))
+        assert len(collapsed) == len(full_fault_list(nl))
+
+    def test_stops_at_multi_fanout(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        c = b.input("b")
+        y = b.bitwise(GateType.AND, a, c)
+        z1 = b.buf(y)
+        z2 = b.buf(y)
+        b.output("z1", z1)
+        b.output("z2", z2)
+        nl = b.build()
+        collapsed = equivalence_collapse(nl, full_fault_list(nl))
+        keys = {(f.net, f.stuck_at) for f in collapsed}
+        # a/SA0 reaches the AND output but no further (two consumers)
+        assert (nl.outputs["z1"][0], 0) in keys
+        assert (nl.outputs["z2"][0], 0) in keys
+
+    def test_stops_at_primary_output(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        y = b.buf(a)
+        b.output("a_pass", a)
+        b.output("y", y)
+        nl = b.build()
+        collapsed = equivalence_collapse(nl, full_fault_list(nl))
+        assert len(collapsed) == 4
+
+    def test_stops_at_dff_d_pin(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.dff()
+        b.connect_dff(q, a)
+        b.output("q", q)
+        nl = b.build()
+        collapsed = equivalence_collapse(nl, full_fault_list(nl))
+        keys = {(f.net, f.stuck_at) for f in collapsed}
+        assert (nl.inputs["a"][0], 0) in keys  # not merged into the DFF
+        assert (nl.inputs["a"][0], 1) in keys
+
+    def test_idempotent(self):
+        nl = build_unit("decoder").netlist
+        once = equivalence_collapse(nl, full_fault_list(nl))
+        twice = equivalence_collapse(nl, once)
+        assert [(f.net, f.stuck_at) for f in once] == \
+               [(f.net, f.stuck_at) for f in twice]
+
+
+class TestConePruning:
+    def _with_dangling(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        c = b.input("b")
+        y = b.bitwise(GateType.AND, a, c)
+        dangling = b.bitwise(GateType.OR, a, c)  # never reaches an output
+        b.output("y", y)
+        return b.build(), dangling.nets[0]
+
+    def test_observable_nets_excludes_dangling(self):
+        nl, dangling = self._with_dangling()
+        cone = observable_nets(nl)
+        assert dangling not in cone
+        assert nl.outputs["y"][0] in cone
+        assert nl.inputs["a"][0] in cone
+
+    def test_prune_untestable_drops_dangling_faults(self):
+        nl, dangling = self._with_dangling()
+        pruned = prune_untestable(nl, full_fault_list(nl))
+        assert all(f.net != dangling for f in pruned)
+        assert len(pruned) == len(full_fault_list(nl)) - 2
+
+    def test_dff_cone_followed_through_d_pin(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.dff()
+        b.connect_dff(q, b.buf(a))
+        b.output("q", q)
+        nl = b.build()
+        cone = observable_nets(nl)
+        assert nl.inputs["a"][0] in cone  # reachable across the DFF
+
+
+class TestStructuralFaultList:
+    @pytest.mark.parametrize("unit", ["wsc", "fetch", "decoder"])
+    def test_reduces_real_unit_fault_lists(self, unit):
+        nl = build_unit(unit).netlist
+        full = full_fault_list(nl)
+        reduced = structural_fault_list(nl, full)
+        assert 0 < len(reduced) < len(full)
+        assert len(set((f.net, f.stuck_at) for f in reduced)) == len(reduced)
+        cone = observable_nets(nl)
+        assert all(f.net in cone for f in reduced)
+
+    def test_gate_campaign_runs_with_structural_collapse(self):
+        from repro.campaign.engine import EngineConfig, execute
+        from repro.campaign.plans import get_spec
+        spec = get_spec("gate")
+        config = spec.default_config(unit="decoder", max_faults=16,
+                                     max_stimuli=4, collapse="structural")
+        plan = spec.build(config)
+        results = execute(plan.units, EngineConfig(processes=1),
+                          context=plan.context)
+        agg = spec.aggregate(config, results)
+        assert agg.total_faults == 16

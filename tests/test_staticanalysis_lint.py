@@ -1,0 +1,220 @@
+"""Lint rules, the registry-wide cleanliness gate, and style checking.
+
+Two layers of lint run here:
+
+* the kernel linter (``repro.staticanalysis``) over every registered
+  workload — the tier-1 guarantee is zero error- and warning-severity
+  findings on the seed kernels;
+* ``ruff`` over the Python sources, when it is installed (the check
+  degrades to a skip in environments without it — ``make lint`` mirrors
+  this behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.isa.instruction import PT, RZ, Instruction
+from repro.isa.opcodes import CmpOp, MemSpace, Op, SpecialReg
+from repro.isa.program import Program
+from repro.staticanalysis import lint_program, max_severity
+from repro.staticanalysis.__main__ import main as sa_main
+from repro.workloads import iter_workloads
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+def _prog(instrs, nregs=8, shared_words=0, name="k") -> Program:
+    return Program(name=name, instructions=list(instrs), nregs=nregs,
+                   shared_words=shared_words)
+
+
+class TestLintRules:
+    def test_clean_kernel_has_no_findings(self):
+        prog = _prog([
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        findings = lint_program(prog)
+        assert max_severity(findings) in (None, "info")
+
+    def test_fall_off_end_is_error(self):
+        prog = _prog([
+            Instruction(Op.EXIT, pred=0),
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+        ], nregs=4)
+        findings = lint_program(prog)
+        assert "SA-E101" in _rules(findings)
+        assert max_severity(findings) == "error"
+
+    def test_predicated_exit_at_end_is_warning(self):
+        prog = _prog([Instruction(Op.NOP), Instruction(Op.EXIT, pred=0)],
+                     nregs=4)
+        assert "SA-W203" in _rules(lint_program(prog))
+
+    def test_inescapable_loop_is_error(self):
+        prog = _prog([
+            Instruction(Op.BRA, imm=0, use_imm=False),   # spins forever
+            Instruction(Op.EXIT),                        # unreachable
+        ], nregs=4)
+        rules = _rules(lint_program(prog))
+        assert "SA-E102" in rules
+        assert "SA-W201" in rules                        # the dead EXIT
+
+    def test_misaligned_static_shared_address(self):
+        prog = _prog([
+            Instruction(Op.STS, srcs=(RZ, 1), imm=2, aux=int(MemSpace.SHARED)),
+            Instruction(Op.EXIT),
+        ], nregs=4, shared_words=4)
+        assert "SA-E103" in _rules(lint_program(prog))
+
+    def test_static_shared_out_of_bounds(self):
+        prog = _prog([
+            Instruction(Op.LDS, dst=1, srcs=(RZ,), imm=64,
+                        aux=int(MemSpace.SHARED)),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ], nregs=4, shared_words=4)
+        assert "SA-E104" in _rules(lint_program(prog))
+
+    def test_shared_use_without_declaration_is_info(self):
+        prog = _prog([
+            Instruction(Op.LDS, dst=1, srcs=(RZ,), imm=0,
+                        aux=int(MemSpace.SHARED)),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ], nregs=4, shared_words=0)
+        findings = lint_program(prog)
+        assert "SA-I301" in _rules(findings)
+        assert max_severity(findings) == "info"
+
+    def test_predicated_barrier_is_warning(self):
+        prog = _prog([
+            Instruction(Op.BAR, pred=0),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        assert "SA-W202" in _rules(lint_program(prog))
+
+    def test_barrier_under_divergence_is_warning(self):
+        # p0 derives from a lane-variant special register; the BAR sits
+        # inside the divergent region of the branch guarded by it
+        prog = _prog([
+            Instruction(Op.S2R, dst=1, aux=int(SpecialReg.TID_X)),
+            Instruction(Op.ISETP, pdst=0, srcs=(1,), imm=4, use_imm=True,
+                        aux=int(CmpOp.LT)),
+            Instruction(Op.BRA, imm=4, use_imm=False, pred=0, pred_neg=True,
+                        reconv_pc=4),
+            Instruction(Op.BAR),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        assert "SA-W204" in _rules(lint_program(prog))
+
+    def test_missing_reconvergence_annotation_is_warning(self):
+        prog = _prog([
+            Instruction(Op.S2R, dst=1, aux=int(SpecialReg.TID_X)),
+            Instruction(Op.ISETP, pdst=0, srcs=(1,), imm=4, use_imm=True,
+                        aux=int(CmpOp.LT)),
+            Instruction(Op.BRA, imm=4, use_imm=False, pred=0,
+                        reconv_pc=None),
+            Instruction(Op.NOP),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        assert "SA-W205" in _rules(lint_program(prog))
+
+    def test_uniform_guard_suppresses_divergence_warnings(self):
+        # the guard derives from CTAID (uniform per warp): no warnings
+        prog = _prog([
+            Instruction(Op.S2R, dst=1, aux=int(SpecialReg.CTAID_X)),
+            Instruction(Op.ISETP, pdst=0, srcs=(1,), imm=4, use_imm=True,
+                        aux=int(CmpOp.LT)),
+            Instruction(Op.BRA, imm=4, use_imm=False, pred=0,
+                        reconv_pc=None),
+            Instruction(Op.NOP),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        rules = _rules(lint_program(prog))
+        assert "SA-W205" not in rules and "SA-W204" not in rules
+
+    def test_dead_write_and_undefined_read_are_info(self):
+        prog = _prog([
+            Instruction(Op.MOV32I, dst=1, imm=3),     # never read
+            Instruction(Op.GST, srcs=(2, 2)),         # R2 never written
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        rules = _rules(lint_program(prog))
+        assert "SA-I302" in rules and "SA-I303" in rules
+
+    def test_register_overallocation_is_info(self):
+        prog = _prog([
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ], nregs=32)
+        assert "SA-I304" in _rules(lint_program(prog))
+
+
+class TestRegistryClean:
+    """The acceptance gate: zero false-positive lint errors on the seed
+    kernels (calibrated: zero warnings too)."""
+
+    def test_every_registered_kernel_is_clean(self):
+        checked = 0
+        for name, workload in iter_workloads(scale="tiny"):
+            for kname, prog in workload.programs().items():
+                findings = lint_program(prog)
+                bad = [f for f in findings
+                       if f.severity in ("error", "warning")]
+                assert not bad, (
+                    f"{name}/{kname}: " +
+                    "; ".join(f.render(prog.name) for f in bad))
+                checked += 1
+        assert checked >= 30  # the registry holds ~40 kernels
+
+
+class TestCli:
+    def test_default_run_is_clean(self, capsys):
+        assert sa_main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_json_output(self, capsys):
+        assert sa_main(["vectoradd", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = [w for w in payload["reports"]
+                    if w["workload"] == "vectoradd"]
+        kernel = entry["kernels"]["vectoradd"]
+        assert {"instructions", "cfg", "findings"} <= set(kernel)
+        assert entry["severity_counts"]["error"] == 0
+
+    def test_strict_mode_passes_on_seed_kernels(self):
+        assert sa_main(["vectoradd", "mxm", "--strict"]) == 0
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert sa_main(["definitely-not-a-workload"]) == 2
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff is not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [shutil.which("ruff"), "check", "src", "tests", "benchmarks"],
+        cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_sources_compile():
+    """Cheap always-on stand-in for ruff's syntax-error class (E9)."""
+    import compileall
+    ok = compileall.compile_dir(str(REPO / "src"), quiet=2, force=False)
+    assert ok

@@ -1,0 +1,216 @@
+"""Static injection-site pruning: soundness rules and the campaign
+equivalence property.
+
+The load-bearing guarantee is that ``--static-prune`` changes *what is
+simulated*, never *what is reported*: a pruned campaign must produce
+bit-for-bit identical EPR classifications while running strictly fewer
+simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.engine import EngineConfig, execute
+from repro.campaign.plans import get_spec
+from repro.campaign.telemetry import Telemetry
+from repro.errormodels.descriptor import ErrorDescriptor
+from repro.errormodels.models import ErrorModel
+from repro.isa.instruction import RZ, Instruction
+from repro.isa.opcodes import CmpOp, Op
+from repro.isa.program import Program
+from repro.staticanalysis import StaticPruner
+
+
+def _prog(instrs, nregs=8, name="k", shared_words=0) -> Program:
+    p = Program(name=name, instructions=list(instrs), nregs=nregs,
+                shared_words=shared_words)
+    p.validate()
+    return p
+
+
+def _store_and_exit(reg):
+    return [Instruction(Op.GST, srcs=(reg, reg)), Instruction(Op.EXIT)]
+
+
+class TestPruneRules:
+    def test_r0_empty_thread_mask(self):
+        prog = _prog([Instruction(Op.IADD, dst=1, srcs=(1,), imm=1,
+                                  use_imm=True), *_store_and_exit(1)])
+        pruner = StaticPruner([prog])
+        d = ErrorDescriptor(model=ErrorModel.IIO, thread_mask=0)
+        decision = pruner.classify(d)
+        assert decision.masked and decision.rule == "R0"
+
+    def test_r1_no_target_instruction(self):
+        # IMD targets STS only; a kernel without shared stores never
+        # activates it
+        prog = _prog([Instruction(Op.IADD, dst=1, srcs=(1,), imm=1,
+                                  use_imm=True), *_store_and_exit(1)])
+        pruner = StaticPruner([prog])
+        decision = pruner.classify(ErrorDescriptor(model=ErrorModel.IMD))
+        assert decision.masked and decision.rule == "R1"
+
+    def test_r2_dead_destination_iio(self):
+        # the immediate-add result is never read -> corruption is inert
+        # (R1 is zero-init and never written, so the IADD is the only
+        # IIO target in the program)
+        prog = _prog([
+            Instruction(Op.IADD, dst=2, srcs=(1,), imm=1, use_imm=True),
+            *_store_and_exit(1),
+        ])
+        decision = StaticPruner([prog]).classify(
+            ErrorDescriptor(model=ErrorModel.IIO))
+        assert decision.masked and decision.rule == "R2"
+
+    def test_live_destination_not_pruned(self):
+        prog = _prog([
+            Instruction(Op.MOV32I, dst=1, imm=3),
+            Instruction(Op.IADD, dst=2, srcs=(1,), imm=1, use_imm=True),
+            *_store_and_exit(2),                    # result IS observed
+        ])
+        decision = StaticPruner([prog]).classify(
+            ErrorDescriptor(model=ErrorModel.IIO))
+        assert not decision.masked and decision.rule == "live"
+
+    def test_wv_mask_without_bit0_is_identity(self):
+        prog = _prog([
+            Instruction(Op.ISETP, pdst=0, srcs=(1,), imm=0, use_imm=True,
+                        aux=int(CmpOp.GT)),
+            Instruction(Op.IADD, dst=1, srcs=(1,), imm=1, use_imm=True,
+                        pred=0),
+            *_store_and_exit(1),
+        ])
+        pruner = StaticPruner([prog])
+        # the injector flips `wrong & 1`; bit 0 clear never flips anything
+        masked = pruner.classify(
+            ErrorDescriptor(model=ErrorModel.WV, bit_err_mask=0x2))
+        live = pruner.classify(
+            ErrorDescriptor(model=ErrorModel.WV, bit_err_mask=0x1))
+        assert masked.masked and masked.rule == "R2"
+        assert not live.masked
+
+    def test_ial_enable_on_uniform_code_is_identity(self):
+        prog = _prog([Instruction(Op.IADD, dst=1, srcs=(1,), imm=1,
+                                  use_imm=True), *_store_and_exit(1)])
+        pruner = StaticPruner([prog])
+        enable = pruner.classify(ErrorDescriptor(
+            model=ErrorModel.IAL, lane_enable_mode="enable"))
+        assert enable.masked and enable.rule == "R2"
+
+    def test_ial_disable_needs_dead_destination(self):
+        live = _prog([Instruction(Op.IADD, dst=1, srcs=(1,), imm=1,
+                                  use_imm=True), *_store_and_exit(1)])
+        dead = _prog([
+            Instruction(Op.MOV32I, dst=1, imm=3),
+            Instruction(Op.IADD, dst=2, srcs=(1,), imm=1, use_imm=True),
+            *_store_and_exit(1),
+        ])
+        d = ErrorDescriptor(model=ErrorModel.IAL, lane_enable_mode="disable")
+        assert not StaticPruner([live]).classify(d).masked
+        assert StaticPruner([dead]).classify(d).masked
+
+    def test_ivra_never_pruned_beyond_r1(self):
+        prog = _prog([
+            Instruction(Op.MOV32I, dst=1, imm=3),
+            Instruction(Op.IADD, dst=2, srcs=(1,), imm=1, use_imm=True),
+            *_store_and_exit(1),                    # R2 dead: IRA would prune
+        ])
+        pruner = StaticPruner([prog])
+        # the escaped register index raises InvalidRegisterError -> DUE
+        d = ErrorDescriptor(model=ErrorModel.IVRA, bit_err_mask=0x40,
+                            err_oper_loc=0)
+        assert not pruner.classify(d).masked
+
+    def test_ira_wrong_register_out_of_window_not_pruned(self):
+        # a single reg-writing instruction with a dead destination; the
+        # store uses RZ so nothing else is an IRA loc-0 target
+        prog = _prog([
+            Instruction(Op.IADD, dst=2, srcs=(RZ,), imm=1, use_imm=True),
+            Instruction(Op.GST, srcs=(RZ, RZ)),
+            Instruction(Op.EXIT),
+        ], nregs=4)
+        pruner = StaticPruner([prog])
+        # dst=2 ^ 0x4 = 6 >= nregs: duplicate write raises -> DUE
+        d = ErrorDescriptor(model=ErrorModel.IRA, bit_err_mask=0x4,
+                            err_oper_loc=0)
+        assert not pruner.classify(d).masked
+        # dst=2 ^ 0x1 = 3 < nregs and dead -> prunable
+        d2 = ErrorDescriptor(model=ErrorModel.IRA, bit_err_mask=0x1,
+                             err_oper_loc=0)
+        assert pruner.classify(d2).masked
+
+    def test_ira_source_swap_on_memory_op_not_pruned(self):
+        prog = _prog([
+            Instruction(Op.MOV32I, dst=1, imm=0),
+            Instruction(Op.GST, srcs=(1, 1)),
+            Instruction(Op.EXIT),
+        ])
+        d = ErrorDescriptor(model=ErrorModel.IRA, bit_err_mask=0x1,
+                            err_oper_loc=1)
+        assert not StaticPruner([prog]).classify(d).masked
+
+    def test_ioc_identity_replacement_pruned(self):
+        prog = _prog([Instruction(Op.IADD, dst=1, srcs=(1,), imm=1,
+                                  use_imm=True), *_store_and_exit(1)])
+        pruner = StaticPruner([prog])
+        same = ErrorDescriptor(model=ErrorModel.IOC, replacement_op=Op.IADD)
+        assert pruner.classify(same).masked
+        # BRA is not a computable replacement: illegal instruction -> DUE
+        other = ErrorDescriptor(model=ErrorModel.IOC, replacement_op=Op.BRA)
+        assert not pruner.classify(other).masked
+
+
+class TestCampaignEquivalence:
+    """Seeded pruned and unpruned campaigns must agree bit-for-bit."""
+
+    APPS = ["vectoradd", "mxm"]
+    MODELS = ["WV", "IIO", "IRA", "IAL", "IMD"]
+
+    def _run(self, static_prune: bool):
+        spec = get_spec("epr")
+        config = spec.default_config(
+            apps=self.APPS, models=self.MODELS, injections_per_model=8,
+            chunk=4, scale="tiny", static_prune=static_prune)
+        plan = spec.build(config)
+        telemetry = Telemetry()
+        results = execute(plan.units, EngineConfig(processes=2),
+                          context=plan.context, telemetry=telemetry)
+        return spec.aggregate(config, results), telemetry, spec
+
+    def test_pruned_campaign_identical_and_smaller(self):
+        base, base_tel, spec = self._run(static_prune=False)
+        pruned, pruned_tel, _ = self._run(static_prune=True)
+
+        for app in self.APPS:
+            for model in (ErrorModel(m) for m in self.MODELS):
+                assert base.counts(app, model) == pruned.counts(app, model), \
+                    f"EPR classification drifted for ({app}, {model.value})"
+        assert base.overall_epr() == pruned.overall_epr()
+
+        n_pruned = sum(o.pruned for o in pruned.outcomes)
+        assert n_pruned > 0, "static pruning never fired"
+        assert sum(o.pruned for o in base.outcomes) == 0
+        assert len(base.outcomes) == len(pruned.outcomes)
+        # every pruned outcome reconciles as Masked
+        assert all(o.outcome == "masked"
+                   for o in pruned.outcomes if o.pruned)
+
+        # the speedup is visible in telemetry: same item count, fewer sims
+        assert pruned_tel.report()["pruned"] == n_pruned
+        assert base_tel.report()["pruned"] == 0
+        assert pruned_tel.report()["items"] == base_tel.report()["items"]
+
+        # and in the summary
+        assert spec.summarize(pruned)["pruned"] == n_pruned
+
+    def test_unit_ids_unchanged_by_pruning(self):
+        spec = get_spec("epr")
+        ids = []
+        for flag in (False, True):
+            config = spec.default_config(
+                apps=["vectoradd"], models=["WV"], injections_per_model=4,
+                chunk=2, scale="tiny", static_prune=flag)
+            plan = spec.build(config)
+            ids.append([u.unit_id for u in plan.units])
+        assert ids[0] == ids[1]
