@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint campaign-smoke bench report report-small claims docs examples clean
+.PHONY: install test lint campaign-smoke obs-smoke bench report report-small claims docs examples clean
 
 install:
 	pip install -e .[test]
@@ -27,6 +27,12 @@ lint:
 # uninterrupted run (and that the golden-run cache hit rate exceeds 90%).
 campaign-smoke:
 	PYTHONPATH=src $(PY) -m repro.campaign smoke
+
+# Observability self-test: trace a tiny EPR campaign, export the chrome
+# trace, and verify the trace schema plus the metrics/campaign invariant
+# (injections_total summed over labels == campaign item count).
+obs-smoke:
+	PYTHONPATH=src $(PY) -m repro.obs smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -23,11 +23,13 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro import obs
 from repro.campaign.engine import EngineConfig, execute
 from repro.campaign.plans import KINDS, get_spec
 from repro.campaign.store import CampaignStore
 from repro.campaign.telemetry import Telemetry
 from repro.common.exceptions import ConfigError, ReproError
+from repro.obs import log
 
 
 def _engine_options(args, max_units=None) -> EngineConfig:
@@ -66,7 +68,8 @@ def _config_overrides(args) -> dict:
 
 def _execute_plan(spec, plan, store: CampaignStore, options: EngineConfig,
                   quiet: bool = False) -> dict:
-    telemetry = Telemetry(progress=None if quiet else print)
+    progress = None if quiet else (lambda line: log.info(line))
+    telemetry = Telemetry(progress=progress)
     telemetry.note_warm(*plan.warm_stats)
     if not store.manifest_path.exists():
         store.write_manifest(plan.kind, plan.config, len(plan.units), extra={
@@ -76,6 +79,7 @@ def _execute_plan(spec, plan, store: CampaignStore, options: EngineConfig,
         store.check_fingerprint(plan.kind, plan.config)
     executed = execute(plan.units, options, context=plan.context,
                        store=store, telemetry=telemetry)
+    obs.flush(store.directory)
     status = store.status()
     if not quiet:
         print(telemetry.progress_line())
@@ -87,6 +91,8 @@ def _execute_plan(spec, plan, store: CampaignStore, options: EngineConfig,
 
 
 def cmd_run(args) -> int:
+    if getattr(args, "trace", False):
+        obs.enable()
     spec = get_spec(args.kind)
     config = spec.default_config(**_config_overrides(args))
     store = CampaignStore(args.dir)
@@ -99,6 +105,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_resume(args) -> int:
+    if getattr(args, "trace", False):
+        obs.enable()
     store = CampaignStore(args.dir)
     manifest = store.load_manifest()
     spec = get_spec(manifest["kind"])
@@ -113,6 +121,17 @@ def cmd_resume(args) -> int:
 def cmd_status(args) -> int:
     store = CampaignStore(args.dir)
     status = store.status()
+    if getattr(args, "json", False):
+        doc = dict(status)
+        try:
+            doc["manifest"] = store.load_manifest()
+        except (ConfigError, ReproError):
+            doc["manifest"] = None
+        metrics = obs.sinks.read_metrics(store.directory)
+        if metrics is not None:
+            doc["metrics"] = metrics
+        print(json.dumps(doc, indent=2, default=str))
+        return 0
     print(json.dumps(status, indent=2))
     if status["complete"]:
         manifest = store.load_manifest()
@@ -215,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interrupt-after", type=int, default=None,
                      metavar="N", help="stop after N units (simulated "
                      "interruption; finish later with `resume`)")
+    run.add_argument("--trace", action="store_true",
+                     help="record observability spans/metrics; flushed to "
+                          "events.jsonl + metrics.json in the campaign dir "
+                          "(export with `python -m repro.obs export-trace`)")
     # epr knobs
     run.add_argument("--apps", help="comma-separated app names (epr)")
     run.add_argument("--models", help="comma-separated error models (epr)")
@@ -243,10 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--processes", type=int, default=None)
     resume.add_argument("--serial", action="store_true")
     resume.add_argument("--fail-fast", action="store_true")
+    resume.add_argument("--trace", action="store_true",
+                        help="record observability spans/metrics")
     resume.set_defaults(func=cmd_resume)
 
     status = sub.add_parser("status", help="inspect a campaign directory")
     status.add_argument("--dir", required=True)
+    status.add_argument("--json", action="store_true",
+                        help="emit one merged JSON document (store status + "
+                             "manifest + flushed metrics) for scripting")
     status.set_defaults(func=cmd_status)
 
     smoke = sub.add_parser(
@@ -260,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    log.configure()
+    obs.enable_from_env()
     args = build_parser().parse_args(argv)
     if getattr(args, "dir", None) is None and args.command == "run":
         args.dir = str(Path(".campaigns") / args.kind)

@@ -23,6 +23,7 @@ import traceback
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.common.exceptions import ConfigError, ReproError
 from repro.common.rng import derive_seed
 
@@ -95,6 +96,10 @@ class UnitResult:
     elapsed: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: transient observability payload (worker spans + metrics delta);
+    #: absorbed by the parent at commit time, never serialized — with
+    #: observability disabled results.jsonl is byte-identical to before
+    obs: dict | None = None
 
     @property
     def items(self) -> int:
@@ -115,7 +120,9 @@ class UnitResult:
         return 0
 
     def to_json(self) -> dict:
-        return asdict(self)
+        d = asdict(self)
+        d.pop("obs", None)
+        return d
 
     @classmethod
     def from_json(cls, data: dict) -> "UnitResult":
@@ -198,14 +205,35 @@ class EngineConfig:
     max_units: int | None = None
 
 
+#: engine-side metric handles (no-ops while observability is disabled)
+_UNITS_TOTAL = obs.REGISTRY.counter("units_total")
+_UNIT_RETRIES = obs.REGISTRY.counter("unit_retries_total")
+_UNIT_SECONDS = obs.REGISTRY.histogram("unit_seconds")
+
+#: pid of the process that imported the engine (the campaign parent).
+#: Fork-pool workers inherit this value but report a different getpid(),
+#: which is how a unit knows its spans/metrics must be shipped back.
+_MAIN_PID = os.getpid()
+
+
 def _execute_unit(unit: WorkUnit) -> UnitResult:
-    """Worker-side wrapper: run, time, and account one unit."""
+    """Worker-side wrapper: run, time, and account one unit.
+
+    The capture window collects the spans and metric increments produced
+    while the unit ran; they travel back to the parent in the (transient)
+    ``obs`` field of the result and are merged at commit time. Capture is
+    only worth paying for across a process boundary — serial units write
+    straight into the parent's recorder/registry.
+    """
     from repro.campaign.goldens import GOLDEN_CACHE
 
     h0, m0 = GOLDEN_CACHE.hits, GOLDEN_CACHE.misses
+    token = obs.capture_begin() if os.getpid() != _MAIN_PID else None
     t0 = time.perf_counter()
     try:
-        value = get_runner(unit.kind)(unit.payload)
+        with obs.span("engine.unit", unit=unit.unit_id, kind=unit.kind,
+                      shard=unit.shard):
+            value = get_runner(unit.kind)(unit.payload)
         ok, error = True, None
     except Exception:
         value, ok, error = None, False, traceback.format_exc()
@@ -215,6 +243,7 @@ def _execute_unit(unit: WorkUnit) -> UnitResult:
         value=value, error=error, elapsed=elapsed,
         cache_hits=GOLDEN_CACHE.hits - h0,
         cache_misses=GOLDEN_CACHE.misses - m0,
+        obs=obs.capture_end(token),
     )
 
 
@@ -291,39 +320,59 @@ def execute(units: Iterable[WorkUnit],
 
     def commit(result: UnitResult) -> None:
         done[result.unit_id] = result
-        telemetry.record(result)
+        obs.absorb(result.obs)
+        result.obs = None
+        _UNITS_TOTAL.inc(kind=result.kind, ok=str(result.ok).lower())
+        _UNIT_SECONDS.observe(result.elapsed, kind=result.kind)
+        obs.BUS.emit("unit.commit", result)
         if store is not None:
             store.append_result(result)
         if on_result is not None:
             on_result(result)
 
+    # Telemetry consumes the engine's event stream rather than being
+    # called directly; subscriptions are scoped to this execute() call.
+    subscriptions = obs.BUS.subscribed(
+        ("unit.commit", telemetry.record),
+        ("unit.retry", telemetry.note_retry),
+    )
     attempt = 0
-    while pending:
-        if attempt > 0:
-            time.sleep(options.backoff * (2 ** (attempt - 1)))
-        if processes > 1 and len(pending) > 1:
-            try:
-                results = _run_wave_pool(pending, processes, options.timeout)
-            except (OSError, ValueError) as exc:
-                # no fork / fd exhaustion / bad pool size: degrade, don't die
-                telemetry.note_degraded(f"pool unavailable ({exc}); "
-                                        "running serially")
-                results = _run_wave_serial(pending)
-        else:
-            results = _run_wave_serial(pending)
+    with subscriptions:
+        while pending:
+            if attempt > 0:
+                time.sleep(options.backoff * (2 ** (attempt - 1)))
+            pooled = processes > 1 and len(pending) > 1
+            with obs.span("engine.wave", attempt=attempt,
+                          pending=len(pending),
+                          mode="pool" if pooled else "serial"):
+                if pooled:
+                    try:
+                        results = _run_wave_pool(pending, processes,
+                                                 options.timeout)
+                    except (OSError, ValueError) as exc:
+                        # no fork / fd exhaustion / bad pool size:
+                        # degrade, don't die
+                        telemetry.note_degraded(f"pool unavailable ({exc}); "
+                                                "running serially")
+                        results = _run_wave_serial(pending)
+                else:
+                    results = _run_wave_serial(pending)
 
-        by_id = {u.unit_id: u for u in pending}
-        pending = []
-        for r in results:
-            r.retries = attempt
-            if r.ok:
-                commit(r)
-            elif options.fail_fast:
-                raise CampaignUnitError(r.unit_id, r.error or "unknown error")
-            elif attempt < options.retries:
-                telemetry.note_retry(r)
-                pending.append(by_id[r.unit_id])
-            else:
-                commit(r)
-        attempt += 1
+            by_id = {u.unit_id: u for u in pending}
+            pending = []
+            for r in results:
+                r.retries = attempt
+                if r.ok:
+                    commit(r)
+                elif options.fail_fast:
+                    raise CampaignUnitError(r.unit_id,
+                                            r.error or "unknown error")
+                elif attempt < options.retries:
+                    _UNIT_RETRIES.inc(kind=r.kind)
+                    obs.event("unit.retry", unit=r.unit_id, attempt=attempt)
+                    obs.BUS.emit("unit.retry", r)
+                    pending.append(by_id[r.unit_id])
+                else:
+                    commit(r)
+            attempt += 1
     return done

@@ -22,12 +22,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.device import Device
 from repro.workloads import get_workload
 
 #: default global-memory size campaigns run workloads with
 DEFAULT_MEM_WORDS = 1 << 20
+
+_CACHE_LOOKUPS = obs.REGISTRY.counter("cache_lookups_total")
 
 
 def golden_key(app: str, scale: str, seed: int,
@@ -92,9 +95,12 @@ class GoldenCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            _CACHE_LOOKUPS.inc(cache="golden", result="hit")
             return entry
         self.misses += 1
-        entry = _compute(app, scale, seed, mem_words)
+        _CACHE_LOOKUPS.inc(cache="golden", result="miss")
+        with obs.span("golden.compute", app=app, scale=scale):
+            entry = _compute(app, scale, seed, mem_words)
         self._entries[key] = entry
         return entry
 

@@ -1,9 +1,14 @@
 """Campaign telemetry: per-shard throughput, cache hit rate, retries.
 
-The engine calls :meth:`Telemetry.record` once per committed work unit.
-"Items" are the campaign's native work quantum (injections at the software
-level, faults at the gate level), so ``items_per_sec`` is directly the
-injections/sec figure the benchmarks track.
+Telemetry is a consumer of the engine's observability event stream: the
+engine emits ``unit.commit`` / ``unit.retry`` events on
+:data:`repro.obs.BUS` and subscribes :meth:`Telemetry.record` /
+:meth:`Telemetry.note_retry` to them for the duration of each
+``execute()`` call (calling the methods directly still works and is what
+the tests do). "Items" are the campaign's native work quantum
+(injections at the software level, faults at the gate level), so
+``items_per_sec`` is directly the injections/sec figure the benchmarks
+track.
 """
 
 from __future__ import annotations
@@ -130,9 +135,12 @@ class Telemetry:
                     "units": s.units,
                     "items": s.items,
                     "pruned": s.pruned,
+                    "elapsed": round(s.elapsed, 3),
                     "items_per_sec": round(s.items_per_sec, 2),
                     "retries": s.retries,
                     "failures": s.failures,
+                    "cache_hits": s.cache_hits,
+                    "cache_misses": s.cache_misses,
                 }
                 for shard, s in sorted(self.shards.items())
             },

@@ -6,10 +6,14 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.experiments.runner import render_all, run_all
+from repro.obs import log
 
 
 def main(argv: list[str] | None = None) -> int:
+    log.configure()
+    obs.enable_from_env()
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Regenerate every table and figure of the paper.",
@@ -34,6 +38,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
+        log.info("report written", path=args.output)
     return 0
 
 

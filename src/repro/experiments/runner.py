@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis import ExperimentReport
+from repro.obs import log
 
 
-def run_all(fast: bool = True, processes: int = 1,
-            preset: str | None = None) -> list[ExperimentReport]:
-    """Regenerate every table and figure.
+def experiment_steps(fast: bool = True, processes: int = 1,
+                     preset: str | None = None) -> list[tuple[str, object]]:
+    """The named experiment steps as ``(name, thunk)`` pairs.
 
-    ``fast`` keeps the scaled-down campaign sizes (minutes); ``fast=False``
-    enlarges them (tens of minutes). ``preset`` ("tiny"/"small"/"paper")
-    overrides both with a :mod:`repro.presets` scale.
+    Exposed separately from :func:`run_all` so callers (and tests) can
+    inspect, filter, or time individual steps.
     """
     from repro.experiments import (
         run_cost_model,
@@ -46,28 +47,60 @@ def run_all(fast: bool = True, processes: int = 1,
     scale = sc.workload_scale
 
     return [
-        run_tab_apps(),
-        run_fig_avf(max_sites=sites, values_per_range=vals),
-        run_fig_syndrome_fp(max_sites=sites, values_per_range=vals),
-        run_fig_syndrome_int(max_sites=sites, values_per_range=vals),
-        run_input_dependence(max_sites=sites, values_per_range=vals),
-        run_fig_tmxm_avf(max_sites=sites, values_per_type=vals),
-        run_fig_tmxm_patterns(max_sites=sites, values_per_type=vals),
-        run_tab_tmxm_patterns(max_sites=sites, values_per_type=vals),
-        run_fig_tmxm_syndrome(max_sites=sites, values_per_type=vals),
-        run_tab_area(scale=scale),
-        run_tab_hw_fault_rate(max_faults=gate_faults, max_stimuli=gate_stim,
-                              scale=scale, processes=processes),
-        run_fig_fapr(max_faults=gate_faults, max_stimuli=gate_stim,
-                     scale=scale, processes=processes),
-        run_tab_error_avf(max_faults=gate_faults, max_stimuli=gate_stim,
-                          scale=scale, processes=processes),
-        run_fig_epr(injections=epr_inj, scale=scale, processes=processes),
-        run_fig_avg_epr(injections=epr_inj, scale=scale, processes=processes),
-        run_cost_model(),
-        run_mitigation_study(injections=4 if fast else 20),
-        run_sensitivity_study(scale=scale),
+        ("tab_apps", lambda: run_tab_apps()),
+        ("fig_avf", lambda: run_fig_avf(
+            max_sites=sites, values_per_range=vals)),
+        ("fig_syndrome_fp", lambda: run_fig_syndrome_fp(
+            max_sites=sites, values_per_range=vals)),
+        ("fig_syndrome_int", lambda: run_fig_syndrome_int(
+            max_sites=sites, values_per_range=vals)),
+        ("input_dependence", lambda: run_input_dependence(
+            max_sites=sites, values_per_range=vals)),
+        ("fig_tmxm_avf", lambda: run_fig_tmxm_avf(
+            max_sites=sites, values_per_type=vals)),
+        ("fig_tmxm_patterns", lambda: run_fig_tmxm_patterns(
+            max_sites=sites, values_per_type=vals)),
+        ("tab_tmxm_patterns", lambda: run_tab_tmxm_patterns(
+            max_sites=sites, values_per_type=vals)),
+        ("fig_tmxm_syndrome", lambda: run_fig_tmxm_syndrome(
+            max_sites=sites, values_per_type=vals)),
+        ("tab_area", lambda: run_tab_area(scale=scale)),
+        ("tab_hw_fault_rate", lambda: run_tab_hw_fault_rate(
+            max_faults=gate_faults, max_stimuli=gate_stim,
+            scale=scale, processes=processes)),
+        ("fig_fapr", lambda: run_fig_fapr(
+            max_faults=gate_faults, max_stimuli=gate_stim,
+            scale=scale, processes=processes)),
+        ("tab_error_avf", lambda: run_tab_error_avf(
+            max_faults=gate_faults, max_stimuli=gate_stim,
+            scale=scale, processes=processes)),
+        ("fig_epr", lambda: run_fig_epr(
+            injections=epr_inj, scale=scale, processes=processes)),
+        ("fig_avg_epr", lambda: run_fig_avg_epr(
+            injections=epr_inj, scale=scale, processes=processes)),
+        ("cost_model", lambda: run_cost_model()),
+        ("mitigation_study", lambda: run_mitigation_study(
+            injections=4 if fast else 20)),
+        ("sensitivity_study", lambda: run_sensitivity_study(scale=scale)),
     ]
+
+
+def run_all(fast: bool = True, processes: int = 1,
+            preset: str | None = None) -> list[ExperimentReport]:
+    """Regenerate every table and figure.
+
+    ``fast`` keeps the scaled-down campaign sizes (minutes); ``fast=False``
+    enlarges them (tens of minutes). ``preset`` ("tiny"/"small"/"paper")
+    overrides both with a :mod:`repro.presets` scale. Each step runs inside
+    an ``experiment`` observability span and logs a progress line.
+    """
+    steps = experiment_steps(fast=fast, processes=processes, preset=preset)
+    reports: list[ExperimentReport] = []
+    for i, (name, thunk) in enumerate(steps, start=1):
+        log.info(f"experiment {name}", step=i, of=len(steps))
+        with obs.span("experiment", name=name):
+            reports.append(thunk())
+    return reports
 
 
 def render_all(reports: list[ExperimentReport]) -> str:

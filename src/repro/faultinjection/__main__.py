@@ -13,12 +13,14 @@ import sys
 
 from repro.analysis import format_table
 from repro.faultinjection import CampaignConfig, run_gate_campaign
+from repro.obs import log
 from repro.profiling import profile_workloads
 from repro.profiling.profiler import PROFILING_NAMES
 from repro.workloads import get_workload
 
 
 def main(argv: list[str] | None = None) -> int:
+    log.configure()
     parser = argparse.ArgumentParser(
         prog="repro.faultinjection",
         description="Gate-level stuck-at campaign on one GPU control unit.",
@@ -37,8 +39,8 @@ def main(argv: list[str] | None = None) -> int:
     names = PROFILING_NAMES[:6] if args.scale == "tiny" else PROFILING_NAMES
     wls = [get_workload(n, scale=args.scale) for n in names]
     prof = profile_workloads(wls, max_stimuli_per_workload=16)
-    print(f"profiled {prof.total_dynamic} dynamic instructions "
-          f"({len(prof.stimuli)} stimuli)")
+    log.info("profiling complete", dynamic_instructions=prof.total_dynamic,
+             stimuli=len(prof.stimuli))
 
     cfg = CampaignConfig(
         unit=args.unit,
@@ -49,10 +51,9 @@ def main(argv: list[str] | None = None) -> int:
     res = run_gate_campaign(cfg, prof.stimuli)
 
     rates = res.category_rates()
-    print(format_table([{"category": k, "percent": v}
-                        for k, v in sorted(rates.items())]))
-    print("\nFAPR per error model:")
-    print(format_table([
+    log.info(format_table([{"category": k, "percent": v}
+                           for k, v in sorted(rates.items())]))
+    log.info("FAPR per error model:\n" + format_table([
         {"model": m.value, "fapr_%": v,
          "faults": res.faults_per_error()[m],
          "times_produced": res.times_produced()[m]}
@@ -63,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faultinjection.results import save_result
 
         save_result(res, args.save)
-        print(f"saved to {args.save}")
+        log.info("saved result", path=args.save)
     return 0
 
 

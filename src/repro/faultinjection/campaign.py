@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.campaign.engine import (
     EngineConfig,
     UnitResult,
@@ -41,6 +42,9 @@ from repro.gatelevel.faults import (
 from repro.gatelevel.sim import FaultBatch, LogicSim
 from repro.gatelevel.units import build_unit
 from repro.gatelevel.units.base import Stimulus, UnitModel
+
+#: one increment per simulated fault, labeled ``{unit, category}``
+_FAULTS_TOTAL = obs.REGISTRY.counter("faults_total")
 
 
 @dataclass(frozen=True)
@@ -169,6 +173,11 @@ class GateCampaignResult:
 
 def _golden_run(unit: UnitModel, stimuli: list[Stimulus]):
     """Golden outputs + per-net toggle info per stimulus."""
+    with obs.span("gate.golden", stimuli=len(stimuli)):
+        return _golden_run_inner(unit, stimuli)
+
+
+def _golden_run_inner(unit: UnitModel, stimuli: list[Stimulus]):
     sim = LogicSim(unit.netlist, num_words=1)
     golden = []
     for stim in stimuli:
@@ -218,6 +227,15 @@ def _run_batch(unit: UnitModel, batch_faults: list[StuckAtFault],
                 records[i].activated = True
 
     out_names = list(unit.netlist.outputs)
+    replay = obs.span("gate.replay", faults=n, stimuli=len(stimuli))
+    with replay:
+        return _replay_batch(unit, sim, batch, records, stimuli, golden,
+                             out_names, n)
+
+
+def _replay_batch(unit, sim, batch, records, stimuli, golden, out_names, n):
+    """Faulty replay + classification of one batch (the inject/classify
+    phase of a gate unit; activation came from the golden toggle info)."""
     for stim, gi in zip(stimuli, golden):
         sim.reset()
         sim.set_faults(batch)
@@ -284,8 +302,12 @@ def _run_gate_unit(payload: dict) -> dict:
     ctx = get_context()
     unit = _cached_unit(ctx["unit"])
     faults = [StuckAtFault(net, sa) for net, sa in payload["faults"]]
-    records = _run_batch(unit, faults, ctx["stimuli"], ctx["golden"],
-                         ctx["words"])
+    with obs.span("gate.unit", unit=ctx["unit"], batch=payload["batch"],
+                  faults=len(faults)):
+        records = _run_batch(unit, faults, ctx["stimuli"], ctx["golden"],
+                             ctx["words"])
+    for r in records:
+        _FAULTS_TOTAL.inc(unit=ctx["unit"], category=r.category)
     return {
         "items": len(records),
         "batch": payload["batch"],
@@ -383,6 +405,7 @@ def run_gate_campaign(config: CampaignConfig,
                        completed=completed, on_result=on_result)
     results = dict(completed)
     if store is not None:
+        obs.flush(store.directory)
         results.update(store.load_results())
     results.update(executed)
     return _aggregate_gate(config.unit, num_stimuli, results)

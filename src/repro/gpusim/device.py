@@ -17,6 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.common.bitops import float_to_bits
 from repro.common.exceptions import (
     BarrierDeadlockError,
@@ -142,8 +143,36 @@ class Device:
 
         self.set_params(params)
         budget = watchdog if watchdog is not None else self.config.default_watchdog
-        executed = 0
 
+        with obs.span("gpusim.launch", program=program.name,
+                      ctas=num_ctas, warps_per_cta=warps_per_cta):
+            executed = self._launch_grid(
+                program, grid3, block3, num_ctas, warps_per_cta, shared,
+                budget, instrumentation, trace_fn, trace_values)
+
+        return LaunchResult(
+            program=program.name,
+            grid=grid3,
+            block=block3,
+            num_ctas=num_ctas,
+            warps_per_cta=warps_per_cta,
+            instructions_executed=executed,
+        )
+
+    def _launch_grid(
+        self,
+        program: Program,
+        grid3: tuple[int, int, int],
+        block3: tuple[int, int, int],
+        num_ctas: int,
+        warps_per_cta: int,
+        shared: int,
+        budget: int,
+        instrumentation: Instrumentation | None,
+        trace_fn: Callable[[TraceEvent], None] | None,
+        trace_values: bool,
+    ) -> int:
+        executed = 0
         for cta in range(num_ctas):
             cx = cta % grid3[0]
             cy = (cta // grid3[0]) % grid3[1]
@@ -176,14 +205,7 @@ class Device:
             if executed > budget:  # pragma: no cover - guarded in _run_cta
                 raise WatchdogTimeoutError(program.name)
 
-        return LaunchResult(
-            program=program.name,
-            grid=grid3,
-            block=block3,
-            num_ctas=num_ctas,
-            warps_per_cta=warps_per_cta,
-            instructions_executed=executed,
-        )
+        return executed
 
     # ------------------------------------------------------------------
     def _run_cta(

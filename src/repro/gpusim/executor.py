@@ -21,6 +21,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from repro.obs.metrics import REGISTRY as _OBS_REGISTRY
 from repro.common.exceptions import (
     ControlFlowCorruptionError,
     InvalidRegisterError,
@@ -35,6 +36,11 @@ WARP_SIZE = 32
 
 _U32 = np.uint32
 _MASK32 = np.uint32(0xFFFFFFFF)
+
+#: dynamic instructions across every launch; incremented once per
+#: executed slice (<=256 instructions), so the disabled-mode cost is one
+#: flag check per slice, far below the <5% observability budget
+_SIM_INSTRUCTIONS = _OBS_REGISTRY.counter("sim_instructions_total")
 
 
 @dataclass
@@ -244,6 +250,8 @@ class WarpExecutor:
                 break
             self._step(warp)
             done += 1
+        if done:
+            _SIM_INSTRUCTIONS.inc(done)
         return done
 
     # ------------------------------------------------------------------

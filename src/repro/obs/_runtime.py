@@ -1,0 +1,21 @@
+"""The one module-level switch the whole observability layer hangs off.
+
+Kept in its own tiny module so :mod:`repro.obs.trace` and
+:mod:`repro.obs.metrics` can both read it without importing each other.
+Hot paths check ``FLAG.on`` (one attribute load) and return immediately
+when observability is disabled, which keeps the disabled-mode overhead
+within the <5% budget enforced by ``benchmarks/test_bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+
+class _Flag:
+    __slots__ = ("on",)
+
+    def __init__(self) -> None:
+        self.on = False
+
+
+#: process-wide enablement switch; forked workers inherit its state
+FLAG = _Flag()

@@ -1,0 +1,110 @@
+"""Structured logging for campaign CLIs (stdlib ``logging`` underneath).
+
+Output mode is selected by the ``REPRO_LOG`` environment variable:
+
+* ``text`` (default) — human-readable lines, structured fields rendered
+  as trailing ``key=value`` pairs;
+* ``json`` — one JSON object per line (machine-parseable campaign
+  output);
+* ``quiet`` — warnings and errors only.
+
+The handler resolves ``sys.stdout`` at emit time, so output lands in the
+stream active *now* (pytest's capsys, a redirected pipe, ...), not the
+one that existed at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+MODES = ("text", "json", "quiet")
+
+_LOGGER_NAME = "repro"
+_configured_mode: str | None = None
+
+
+class _StdoutHandler(logging.StreamHandler):
+    """StreamHandler bound to the *current* ``sys.stdout``."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ assigns it
+        pass
+
+
+class _TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        msg = record.getMessage()
+        fields = getattr(record, "fields", None)
+        if fields:
+            tail = " ".join(f"{k}={v}" for k, v in fields.items())
+            msg = f"{msg} {tail}" if msg else tail
+        if record.levelno >= logging.WARNING:
+            msg = f"{record.levelname.lower()}: {msg}"
+        return msg
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname.lower(),
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for k, v in fields.items():
+                payload.setdefault(k, v)
+        return json.dumps(payload, default=str)
+
+
+def configure(mode: str | None = None, force: bool = False) -> logging.Logger:
+    """Install (once) the repro handler; returns the shared logger."""
+    global _configured_mode
+    logger = logging.getLogger(_LOGGER_NAME)
+    if _configured_mode is not None and not force:
+        return logger
+    if mode is None:
+        mode = os.environ.get("REPRO_LOG", "text").lower()
+    if mode not in MODES:
+        mode = "text"
+    for h in list(logger.handlers):
+        logger.removeHandler(h)
+    handler = _StdoutHandler()
+    handler.setFormatter(_JsonFormatter() if mode == "json"
+                         else _TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(logging.WARNING if mode == "quiet" else logging.INFO)
+    logger.propagate = False
+    _configured_mode = mode
+    return logger
+
+
+def get_logger() -> logging.Logger:
+    return configure()
+
+
+def _emit(level: int, msg: str, fields: dict) -> None:
+    configure().log(level, msg, extra={"fields": fields} if fields else None)
+
+
+def info(msg: str, **fields) -> None:
+    _emit(logging.INFO, msg, fields)
+
+
+def warning(msg: str, **fields) -> None:
+    _emit(logging.WARNING, msg, fields)
+
+
+def error(msg: str, **fields) -> None:
+    _emit(logging.ERROR, msg, fields)

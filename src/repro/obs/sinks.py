@@ -1,0 +1,148 @@
+"""Observability sinks: JSONL event log, metrics file, chrome-trace export.
+
+A flushed campaign directory gains::
+
+    <dir>/events.jsonl   # one span/event record per line (append-only)
+    <dir>/metrics.json   # cumulative metrics snapshot (merged on re-flush)
+    <dir>/trace.json     # chrome://tracing / Perfetto trace (on export)
+
+The chrome trace uses the legacy "JSON Array Format" understood by both
+``chrome://tracing`` and https://ui.perfetto.dev: complete events
+(``"ph": "X"``) with microsecond ``ts``/``dur``, instant events
+(``"ph": "i"``) and per-process metadata (``"ph": "M"``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+
+EVENTS_NAME = "events.jsonl"
+METRICS_NAME = "metrics.json"
+TRACE_NAME = "trace.json"
+
+
+# ---------------------------------------------------------------------
+# events.jsonl
+# ---------------------------------------------------------------------
+
+def append_events(directory: str | Path, records: list[dict]) -> Path:
+    path = Path(directory) / EVENTS_NAME
+    if records:
+        with open(path, "a") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def read_events(directory: str | Path) -> list[dict]:
+    path = Path(directory)
+    if path.is_dir():
+        path = path / EVENTS_NAME
+    if not path.exists():
+        return []
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ---------------------------------------------------------------------
+# metrics.json
+# ---------------------------------------------------------------------
+
+def write_metrics(directory: str | Path, snapshot: dict) -> Path:
+    """Write *snapshot*, merging with any existing file (run + resume
+    accumulate instead of clobbering each other)."""
+    path = Path(directory) / METRICS_NAME
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (ValueError, OSError):
+            existing = None
+        snapshot = _metrics.merge_snapshots(existing, snapshot)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    return path
+
+
+def read_metrics(directory: str | Path) -> dict | None:
+    path = Path(directory) / METRICS_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+# ---------------------------------------------------------------------
+# chrome trace
+# ---------------------------------------------------------------------
+
+def to_chrome_trace(records: list[dict]) -> dict:
+    """Convert event records to the chrome-tracing JSON object format."""
+    events: list[dict] = []
+    pids = sorted({rec["pid"] for rec in records})
+    for pid in pids:
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": pid, "tid": 0,
+                       "args": {"name": f"repro pid {pid}"}})
+    # normalize so the trace starts near t=0 regardless of uptime
+    t0 = min((rec["ts"] for rec in records), default=0.0)
+    for rec in records:
+        ev = {
+            "name": rec["name"],
+            "cat": rec.get("type", "span"),
+            "ts": round((rec["ts"] - t0) * 1e6, 3),
+            "pid": rec["pid"],
+            "tid": rec.get("tid", 0),
+        }
+        args = dict(rec.get("attrs") or {})
+        if rec.get("id"):
+            args["span_id"] = rec["id"]
+        if rec.get("parent"):
+            args["parent_id"] = rec["parent"]
+        if rec.get("error"):
+            args["error"] = rec["error"]
+        if args:
+            ev["args"] = args
+        if rec.get("type") == "event":
+            ev["ph"] = "i"
+            ev["s"] = "t"
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = round(rec.get("dur", 0.0) * 1e6, 3)
+        events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_trace(directory: str | Path, out: str | Path | None = None) -> Path:
+    """Render ``events.jsonl`` in *directory* to a chrome trace file."""
+    records = read_events(directory)
+    path = Path(out) if out else Path(directory) / TRACE_NAME
+    path.write_text(json.dumps(to_chrome_trace(records)))
+    return path
+
+
+def validate_chrome_trace(path: str | Path) -> list[str]:
+    """Schema check used by tests and ``repro.obs smoke``; returns
+    problems (empty list == valid)."""
+    problems: list[str] = []
+    try:
+        data = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("trace contains no events")
+    for i, ev in enumerate(events):
+        for key in ("ph", "ts", "pid"):
+            if key not in ev:
+                problems.append(f"event {i} missing required key {key!r}")
+        if ev.get("ph") == "X" and "dur" not in ev:
+            problems.append(f"complete event {i} missing dur")
+    return problems

@@ -14,11 +14,13 @@ import sys
 
 from repro.analysis import format_table
 from repro.errormodels.models import ErrorModel, SW_INJECTABLE
+from repro.obs import log
 from repro.swinjector import SwCampaignConfig, run_epr_campaign
 from repro.workloads.registry import EVALUATION_APPS
 
 
 def main(argv: list[str] | None = None) -> int:
+    log.configure()
     parser = argparse.ArgumentParser(
         prog="repro.swinjector",
         description="Software-level permanent-error (EPR) campaign.",
@@ -53,15 +55,15 @@ def main(argv: list[str] | None = None) -> int:
         avg = res.average_epr(model)
         rows.append({"model": model.value, "masked_%": avg["masked"],
                      "sdc_%": avg["sdc"], "due_%": avg["due"]})
-    print(format_table(rows))
-    print(f"\noverall EPR (non-masked): {res.overall_epr():.1f}%  "
-          f"({len(res.outcomes)} injections)")
+    log.info(format_table(rows))
+    log.info(f"overall EPR (non-masked): {res.overall_epr():.1f}%",
+             injections=len(res.outcomes))
 
     if args.save:
         from repro.faultinjection.results import save_result
 
         save_result(res, args.save)
-        print(f"saved to {args.save}")
+        log.info("saved result", path=args.save)
     return 0
 
 

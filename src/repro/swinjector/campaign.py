@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.campaign.engine import (
     EngineConfig,
     UnitResult,
@@ -44,6 +45,12 @@ from repro.swinjector.instrumentation import NVBitPERfi, make_descriptor
 from repro.workloads.registry import EVALUATION_APPS
 
 OUTCOMES = ("masked", "sdc", "due")
+
+#: one increment per classified injection, labeled
+#: ``{model, workload, outcome}`` — summed over all labels this equals
+#: the campaign's reported item count (checked by ``repro.obs smoke``)
+_INJECTIONS_TOTAL = obs.REGISTRY.counter("injections_total")
+_ACTIVATIONS_TOTAL = obs.REGISTRY.counter("fault_activations_total")
 
 #: injections grouped into one work unit (the scheduling quantum; results
 #: are independent of it because every injection is seeded by its index)
@@ -170,12 +177,18 @@ def run_one_injection(app: str, model: ErrorModel, index: int,
                           shared_words=shared_words, watchdog=watchdog,
                           instrumentation=tool)
 
+    # one span covers faulty run + classification; the outcome becomes a
+    # span attribute, so the trace shows what each injection resolved to
+    inject = obs.span("epr.inject", app=app, model=model.value, index=index)
     try:
-        bits = w.run(dev, launcher)
+        with inject:
+            inject.set(outcome="due")  # stands unless the run completes
+            bits = w.run(dev, launcher)
+            outcome = "masked" if np.array_equal(bits, golden) else "sdc"
+            inject.set(outcome=outcome)
     except DeviceError as exc:
         return InjectionOutcome(app, model, "due", due_reason=exc.reason,
                                 activations=tool.activations)
-    outcome = "masked" if np.array_equal(bits, golden) else "sdc"
     return InjectionOutcome(app, model, outcome, activations=tool.activations)
 
 
@@ -199,20 +212,29 @@ def _run_epr_unit(payload: dict) -> dict:
     scale, seed = payload["scale"], payload["seed"]
     mem_words = payload["mem_words"]
     static_prune = bool(payload.get("static_prune", False))
-    golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
+    with obs.span("epr.golden", app=app):
+        golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
     watchdog = 10 * golden.dynamic_instructions + 10_000
     cfg = SwCampaignConfig(apps=(app,), models=(model,), scale=scale,
                            seed=seed, mem_words=mem_words)
     pruner = _pruner_for(app, scale, seed) if static_prune else None
     outcomes = []
-    for i in payload["indices"]:
-        if pruner is not None and pruner.statically_masked(
-                make_descriptor(model, seed, i)):
-            outcomes.append(InjectionOutcome(app, model, "masked",
-                                             pruned=True))
-        else:
-            outcomes.append(run_one_injection(app, model, i, cfg,
-                                              golden.bits, watchdog))
+    with obs.span("epr.unit", app=app, model=model.value,
+                  injections=len(payload["indices"])):
+        for i in payload["indices"]:
+            if pruner is not None and pruner.statically_masked(
+                    make_descriptor(model, seed, i)):
+                outcomes.append(InjectionOutcome(app, model, "masked",
+                                                 pruned=True))
+            else:
+                outcomes.append(run_one_injection(app, model, i, cfg,
+                                                  golden.bits, watchdog))
+    for o in outcomes:
+        _INJECTIONS_TOTAL.inc(model=model.value, workload=app,
+                              outcome=o.outcome)
+        if o.activations:
+            _ACTIVATIONS_TOTAL.inc(o.activations, model=model.value,
+                                   workload=app)
     return {
         "items": len(outcomes),
         "pruned": sum(o.pruned for o in outcomes),
@@ -353,5 +375,6 @@ def run_epr_campaign(config: SwCampaignConfig | None = None, *,
                            fail_fast=config.fail_fast, max_units=max_units)
     results = execute(plan.units, options, store=store, telemetry=telemetry)
     if store is not None:
+        obs.flush(store.directory)
         results = {**store.load_results(), **results}
     return spec.aggregate(plan_config, results)
