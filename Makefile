@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint campaign-smoke obs-smoke bench report report-small claims docs examples clean
+.PHONY: install test lint campaign-smoke chaos-smoke obs-smoke bench report report-small claims docs examples clean
 
 install:
 	pip install -e .[test]
@@ -27,6 +27,13 @@ lint:
 # uninterrupted run (and that the golden-run cache hit rate exceeds 90%).
 campaign-smoke:
 	PYTHONPATH=src $(PY) -m repro.campaign smoke
+
+# Resilience self-test: re-run the campaign smoke under injected worker
+# kills/hangs, torn writes, bit flips and ENOSPC; verify + repair the
+# damaged store, resume, and assert the aggregate equals a fault-free
+# run (docs/RESILIENCE.md).
+chaos-smoke:
+	PYTHONPATH=src $(PY) -m repro.campaign chaos-smoke
 
 # Observability self-test: trace a tiny EPR campaign, export the chrome
 # trace, and verify the trace schema plus the metrics/campaign invariant

@@ -1,0 +1,113 @@
+"""Resilience overhead — the <5% budget the layer promises.
+
+Checksumming every store record (seal on write, verify on load) must not
+tax campaign throughput. Three measurements:
+
+* micro: raw seal+verify cost per record (microseconds);
+* modeled: direct integrity cost of one store-backed serial EPR campaign
+  = records x (measured seal cost + measured verify cost) / campaign
+  wall time. Every term is stable, so this is the asserted <5% bound —
+  wall-clock A/B deltas of a ~second-long campaign sit below
+  scheduler/boost-clock noise on shared CI machines;
+* measured: store-backed vs in-memory wall-time ratio, reported in
+  ``extra_info`` and sanity-bounded loosely (this includes the JSONL
+  writes themselves, not just the checksums, so the bound is loose).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.campaign import CampaignStore
+from repro.errormodels.models import ErrorModel
+from repro.resilience import integrity
+from repro.swinjector import SwCampaignConfig, run_epr_campaign
+
+_CFG = dict(apps=("vectoradd",), models=(ErrorModel.WV, ErrorModel.IIO),
+            injections_per_model=12, scale="tiny", seed=7, processes=1)
+
+#: acceptance budget for the modeled integrity overhead (ratio - 1)
+_BUDGET = 0.05
+#: loose wall-clock sanity bound (covers the JSONL I/O itself + noise)
+_WALL_SANITY = 1.5
+#: interleaved (in-memory, store-backed) timing pairs
+_PAIRS = 5
+
+
+def _run_campaign(store=None):
+    return run_epr_campaign(SwCampaignConfig(**_CFG), store=store, chunk=4)
+
+
+def _timed(store=None) -> float:
+    t0 = time.perf_counter()
+    _run_campaign(store=store)
+    return time.perf_counter() - t0
+
+
+def _seal_verify_cost(record: dict, iters: int = 5000) -> tuple[float, float]:
+    """Measured per-record cost of sealing (write side) and of the
+    checksum verification inside ``unseal`` (load side)."""
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        sealed = integrity.seal(record)
+    seal_cost = (time.perf_counter() - t0) / iters
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        integrity.unseal(sealed)
+    verify_cost = (time.perf_counter() - t0) / iters
+    return seal_cost, verify_cost
+
+
+def test_bench_record_checksum_micro(benchmark, tmp_path):
+    """Raw seal cost of a representative campaign record."""
+    store = CampaignStore(tmp_path / "sample")
+    _run_campaign(store=store)
+    scan = integrity.scan_jsonl(store.results_path)
+    assert scan.records
+    record = max(scan.records, key=lambda r: len(integrity.canonical_json(r)))
+
+    benchmark(integrity.seal, record)
+    body, status = integrity.unseal(integrity.seal(record))
+    assert status == "ok" and body == record
+
+
+def test_bench_integrity_overhead_under_budget(regen, benchmark, tmp_path):
+    """Modeled checksum cost <= 5% of store-backed campaign wall time."""
+    _run_campaign()  # warm golden cache + workload caches for both modes
+
+    # wall-clock A/B (reported; loosely bounded — includes the JSONL I/O)
+    ratios = []
+    for i in range(_PAIRS):
+        t_mem = _timed()
+        t_store = _timed(store=CampaignStore(tmp_path / f"ab{i}"))
+        ratios.append(t_store / t_mem if t_mem > 0 else 1.0)
+    wall_ratio = statistics.median(ratios)
+
+    # modeled direct cost: records one store-backed run writes and reads
+    store = CampaignStore(tmp_path / "modeled")
+    t_store = _timed(store=store)
+    scan = integrity.scan_jsonl(store.results_path)
+    records = scan.records
+    assert records and scan.ok
+    seal_cost, verify_cost = _seal_verify_cost(
+        max(records, key=lambda r: len(integrity.canonical_json(r))))
+    # every record is sealed once on append and verified once on the
+    # final load_results() merge
+    modeled = len(records) * (seal_cost + verify_cost) / t_store
+
+    benchmark.extra_info["records_per_run"] = len(records)
+    benchmark.extra_info["seal_cost_us"] = round(seal_cost * 1e6, 3)
+    benchmark.extra_info["verify_cost_us"] = round(verify_cost * 1e6, 3)
+    benchmark.extra_info["modeled_overhead"] = round(modeled, 4)
+    benchmark.extra_info["wall_ratio_median"] = round(wall_ratio, 4)
+    res = regen(_run_campaign)  # one benchmarked pass for the report
+    assert res.outcomes
+    assert modeled < _BUDGET, (
+        f"modeled integrity overhead {100 * modeled:.1f}% exceeds "
+        f"{100 * _BUDGET:.0f}% budget ({len(records)} records x "
+        f"{(seal_cost + verify_cost) * 1e6:.1f}us over {t_store * 1e3:.1f}ms)")
+    assert wall_ratio < _WALL_SANITY, (
+        f"store-backed wall ratio {wall_ratio:.3f} beyond sanity bound "
+        f"{_WALL_SANITY} (pair ratios: "
+        + ", ".join(f"{r:.3f}" for r in ratios) + ")")

@@ -22,8 +22,11 @@ they all run on:
   (:mod:`repro.campaign.telemetry`).
 
 ``python -m repro.campaign`` exposes ``run`` / ``resume`` / ``status`` /
-``smoke`` on top of the registered campaign kinds (``epr``, ``gate``).
-See ``docs/CAMPAIGNS.md`` for the architecture and on-disk format.
+``verify`` / ``repair`` / ``smoke`` / ``chaos-smoke`` on top of the
+registered campaign kinds (``epr``, ``gate``). See ``docs/CAMPAIGNS.md``
+for the architecture and on-disk format, and ``docs/RESILIENCE.md`` for
+the crash-safety / corruption-detection / chaos-testing layer
+(:mod:`repro.resilience`).
 """
 
 from repro.campaign.engine import (

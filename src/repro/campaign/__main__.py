@@ -1,4 +1,4 @@
-"""CLI: run, resume and inspect fault-injection campaigns.
+"""CLI: run, resume, inspect, verify and chaos-test campaigns.
 
 Examples::
 
@@ -6,12 +6,21 @@ Examples::
     python -m repro.campaign run --scale tiny --interrupt-after 8 --dir runs/x
     python -m repro.campaign resume --dir runs/x
     python -m repro.campaign status --dir runs/x
-    python -m repro.campaign smoke          # run -> interrupt -> resume -> verify
+    python -m repro.campaign verify runs/x      # integrity check (read-only)
+    python -m repro.campaign repair runs/x      # restore a resumable state
+    python -m repro.campaign smoke              # run -> interrupt -> resume
+    python -m repro.campaign chaos-smoke        # ...with faults injected
 
 ``run`` creates (or continues) a campaign directory holding a manifest and
 an append-only ``results.jsonl``; ``resume`` rebuilds the plan from the
 manifest and executes only the missing work units. ``smoke`` is the
-self-test wired into ``make campaign-smoke``.
+self-test wired into ``make campaign-smoke``; ``chaos-smoke`` replays it
+under injected worker kills, hangs, torn writes, bit flips and ENOSPC
+(``make chaos-smoke``; see docs/RESILIENCE.md).
+
+Exit codes: 0 success; 1 smoke failure; 2 config/usage error;
+3 campaign complete-with-holes (quarantined units); 4 verify/repair found
+problems; 130/143 interrupted by SIGINT/SIGTERM (store left resumable).
 """
 
 from __future__ import annotations
@@ -25,18 +34,35 @@ from pathlib import Path
 
 from repro import obs
 from repro.campaign.engine import EngineConfig, execute
+from repro.campaign.goldens import GOLDEN_CACHE
 from repro.campaign.plans import KINDS, get_spec
 from repro.campaign.store import CampaignStore
 from repro.campaign.telemetry import Telemetry
 from repro.common.exceptions import ConfigError, ReproError
 from repro.obs import log
+from repro.resilience import chaos
+from repro.resilience.watchdog import CampaignInterrupted
+
+#: ``status`` exit code for a campaign that finished but parked units in
+#: quarantine — complete enough to aggregate, not complete enough to trust
+#: blindly (documented in docs/RESILIENCE.md)
+EXIT_HOLES = 3
+#: ``verify`` / ``repair`` exit code when problems were found
+EXIT_VERIFY = 4
+
+GOLDENS_DIRNAME = "goldens"
 
 
 def _engine_options(args, max_units=None) -> EngineConfig:
     processes = 1 if getattr(args, "serial", False) else (args.processes or 0)
+    kwargs = {}
+    if getattr(args, "timeout", None) is not None:
+        kwargs["timeout"] = args.timeout
+    if getattr(args, "retries", None) is not None:
+        kwargs["retries"] = args.retries
     return EngineConfig(processes=processes,
                         fail_fast=getattr(args, "fail_fast", False),
-                        max_units=max_units)
+                        max_units=max_units, **kwargs)
 
 
 def _config_overrides(args) -> dict:
@@ -95,27 +121,32 @@ def cmd_run(args) -> int:
         obs.enable()
     spec = get_spec(args.kind)
     config = spec.default_config(**_config_overrides(args))
-    store = CampaignStore(args.dir)
+    store = CampaignStore(args.dir, durable=getattr(args, "durable", False))
+    GOLDEN_CACHE.persist_to(store.directory / GOLDENS_DIRNAME)
     plan = spec.build(config)
     print(f"campaign {args.kind}: {len(plan.units)} work units "
           f"-> {store.directory}")
-    _execute_plan(spec, plan, store,
-                  _engine_options(args, max_units=args.interrupt_after))
-    return 0
+    status = _execute_plan(spec, plan, store,
+                           _engine_options(args, max_units=args.interrupt_after))
+    return EXIT_HOLES if status["complete_with_holes"] else 0
 
 
 def cmd_resume(args) -> int:
     if getattr(args, "trace", False):
         obs.enable()
-    store = CampaignStore(args.dir)
+    store = CampaignStore(args.dir, durable=getattr(args, "durable", False))
     manifest = store.load_manifest()
+    if getattr(args, "retry_quarantined", False):
+        requeued = store.clear_quarantine()
+        print(f"re-queued {requeued} quarantined unit(s)")
+    GOLDEN_CACHE.persist_to(store.directory / GOLDENS_DIRNAME)
     spec = get_spec(manifest["kind"])
     plan = spec.build(manifest["config"])
     pending = manifest["total_units"] - len(store.completed_ids())
     print(f"resuming {manifest['kind']} campaign in {store.directory}: "
           f"{pending} of {manifest['total_units']} units pending")
-    _execute_plan(spec, plan, store, _engine_options(args))
-    return 0
+    status = _execute_plan(spec, plan, store, _engine_options(args))
+    return EXIT_HOLES if status["complete_with_holes"] else 0
 
 
 def cmd_status(args) -> int:
@@ -131,13 +162,42 @@ def cmd_status(args) -> int:
         if metrics is not None:
             doc["metrics"] = metrics
         print(json.dumps(doc, indent=2, default=str))
-        return 0
+        return EXIT_HOLES if status["complete_with_holes"] else 0
     print(json.dumps(status, indent=2))
     if status["complete"]:
         manifest = store.load_manifest()
         spec = get_spec(manifest["kind"])
         result = spec.aggregate(manifest["config"], store.load_results())
         print(json.dumps(spec.summarize(result), indent=2))
+    return EXIT_HOLES if status["complete_with_holes"] else 0
+
+
+def cmd_verify(args) -> int:
+    from repro.resilience.verify import verify_campaign
+
+    report = verify_campaign(args.dir)
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else EXIT_VERIFY
+
+
+def cmd_repair(args) -> int:
+    from repro.resilience.verify import repair_campaign, verify_campaign
+
+    report = repair_campaign(args.dir)
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    if not report.ok:
+        return EXIT_VERIFY
+    # repair must leave a directory verify is happy with
+    after = verify_campaign(args.dir)
+    if not after.ok:
+        print(after.render())
+        return EXIT_VERIFY
     return 0
 
 
@@ -210,6 +270,129 @@ def cmd_smoke(args) -> int:
     return 0
 
 
+def cmd_chaos_smoke(args) -> int:
+    """Resilience self-test: a real campaign under injected faults.
+
+    Runs a small EPR campaign while the chaos harness randomly SIGKILLs
+    workers, hangs them past the unit timeout, tears and bit-flips store
+    writes and injects ENOSPC — then turns chaos off, repairs the store,
+    resumes the survivors and asserts the final aggregate is identical to
+    a fault-free run (``make chaos-smoke``; see docs/RESILIENCE.md).
+    """
+    from repro.resilience.verify import repair_campaign, verify_campaign
+
+    spec = get_spec("epr")
+    config = spec.default_config(
+        apps=["vectoradd", "gemm"], models=["WV", "IIO"],
+        injections_per_model=6, chunk=2, scale="tiny")
+    base = Path(args.dir) if args.dir else Path(
+        tempfile.mkdtemp(prefix="campaign-chaos-"))
+    failures: list[str] = []
+    spec_str = ("kill:0.2,hang:0.08,torn:0.15,bitflip:0.15,enospc:2"
+                if args.faults is None else args.faults)
+    try:
+        store = CampaignStore(base / "chaotic")
+        plan = spec.build(config)
+        print(f"chaos-smoke: {len(plan.units)} units under "
+              f"REPRO_CHAOS='{spec_str}' (seed {args.chaos_seed})")
+
+        # phase 1: run with chaos active — short unit timeout so injected
+        # hangs cost seconds, not the default 10-minute budget
+        state = chaos.configure(spec_str, seed=args.chaos_seed)
+        try:
+            _execute_plan(spec, plan, store,
+                          EngineConfig(processes=2, timeout=8.0, retries=2,
+                                       watchdog_grace=1.0),
+                          quiet=True)
+        finally:
+            chaos.deactivate()
+        fired = dict(state.fired)
+        print(f"chaos-smoke: faults fired: {fired or 'none'}")
+        if not fired:
+            failures.append(
+                "no chaos fault fired — smoke is vacuous; lower the "
+                "probabilities/seed combination is bad")
+
+        # phase 2: verify sees the damage, repair makes it resumable
+        report = verify_campaign(store.directory)
+        if not report.ok:
+            print(f"chaos-smoke: verify found "
+                  f"{sum(f.severity == 'error' for f in report.findings)} "
+                  f"error(s) (expected under torn/bitflip); repairing")
+            repair_campaign(store.directory)
+            after = verify_campaign(store.directory)
+            if not after.ok:
+                failures.append(f"repair left problems:\n{after.render()}")
+
+        # phase 3: clean resume fills every hole left by the faults
+        status = _execute_plan(spec, plan, store,
+                               EngineConfig(processes=2), quiet=True)
+        if not (status["complete"] or status["complete_with_holes"]):
+            failures.append(f"resume did not converge: {status}")
+        if status["quarantined_units"]:
+            print(f"chaos-smoke: {status['quarantined_units']} unit(s) "
+                  "quarantined; re-queueing for the equivalence check")
+            store.clear_quarantine()
+            status = _execute_plan(spec, plan, store,
+                                   EngineConfig(processes=2), quiet=True)
+        if not status["complete"]:
+            failures.append(f"campaign did not complete: {status}")
+
+        # phase 4: equivalence against a fault-free reference
+        survived = spec.aggregate(plan.config, store.load_results())
+        fresh = spec.aggregate(plan.config,
+                               execute(plan.units, EngineConfig(processes=2)))
+        for app in config["apps"]:
+            for model in survived.config.models:
+                a = survived.counts(app, model)
+                b = fresh.counts(app, model)
+                if a != b:
+                    failures.append(
+                        f"EPR mismatch for ({app}, {model.value}): "
+                        f"chaos={a} fresh={b}")
+        if survived.overall_epr() != fresh.overall_epr():
+            failures.append("overall EPR differs between chaos and fresh run")
+        print(f"chaos-smoke: {status['completed_units']}/"
+              f"{status['total_units']} units recovered, overall EPR "
+              f"{survived.overall_epr():.1f}% == fresh "
+              f"{fresh.overall_epr():.1f}%")
+    finally:
+        chaos.deactivate()
+        if not args.keep and not args.dir:
+            shutil.rmtree(base, ignore_errors=True)
+    if failures:
+        for f in failures:
+            print(f"CHAOS-SMOKE FAIL: {f}", file=sys.stderr)
+        return 1
+    print("campaign chaos-smoke: OK (killed/hung/torn/flipped -> "
+          "repaired -> resumed == fresh)")
+    return 0
+
+
+def _add_exec_args(sub) -> None:
+    sub.add_argument("--processes", type=int, default=None,
+                     help="worker processes (default min(cores, 8); "
+                          "env REPRO_PROCESSES overrides)")
+    sub.add_argument("--serial", action="store_true",
+                     help="force serial execution")
+    sub.add_argument("--fail-fast", action="store_true",
+                     help="re-raise the first worker crash with its "
+                          "traceback instead of retrying/recording it")
+    sub.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="per-unit wall-clock budget; the watchdog kills "
+                          "workers stalled past it (default 600)")
+    sub.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="re-runs of a failed unit before it is "
+                          "quarantined/recorded (default 2)")
+    sub.add_argument("--durable", action="store_true",
+                     help="fsync every record append (power-loss safety "
+                          "at an IOPS cost)")
+    sub.add_argument("--trace", action="store_true",
+                     help="record observability spans/metrics; flushed to "
+                          "events.jsonl + metrics.json in the campaign dir "
+                          "(export with `python -m repro.obs export-trace`)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.campaign",
@@ -223,21 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="tiny",
                      choices=["tiny", "small", "paper"])
     run.add_argument("--seed", type=int, default=None)
-    run.add_argument("--processes", type=int, default=None,
-                     help="worker processes (default min(cores, 8); "
-                          "env REPRO_PROCESSES overrides)")
-    run.add_argument("--serial", action="store_true",
-                     help="force serial execution")
-    run.add_argument("--fail-fast", action="store_true",
-                     help="re-raise the first worker crash with its "
-                          "traceback instead of retrying/recording it")
     run.add_argument("--interrupt-after", type=int, default=None,
                      metavar="N", help="stop after N units (simulated "
                      "interruption; finish later with `resume`)")
-    run.add_argument("--trace", action="store_true",
-                     help="record observability spans/metrics; flushed to "
-                          "events.jsonl + metrics.json in the campaign dir "
-                          "(export with `python -m repro.obs export-trace`)")
+    _add_exec_args(run)
     # epr knobs
     run.add_argument("--apps", help="comma-separated app names (epr)")
     run.add_argument("--models", help="comma-separated error models (epr)")
@@ -263,11 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = sub.add_parser("resume", help="finish an interrupted campaign")
     resume.add_argument("--dir", required=True)
-    resume.add_argument("--processes", type=int, default=None)
-    resume.add_argument("--serial", action="store_true")
-    resume.add_argument("--fail-fast", action="store_true")
-    resume.add_argument("--trace", action="store_true",
-                        help="record observability spans/metrics")
+    resume.add_argument("--retry-quarantined", action="store_true",
+                        help="clear quarantine.jsonl and re-run the parked "
+                             "units")
+    _add_exec_args(resume)
     resume.set_defaults(func=cmd_resume)
 
     status = sub.add_parser("status", help="inspect a campaign directory")
@@ -277,6 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "manifest + flushed metrics) for scripting")
     status.set_defaults(func=cmd_status)
 
+    verify = sub.add_parser(
+        "verify", help="integrity-check a campaign directory (read-only; "
+                       "exit 4 on problems)")
+    verify.add_argument("dir", help="campaign directory")
+    verify.add_argument("--json", action="store_true")
+    verify.set_defaults(func=cmd_verify)
+
+    repair = sub.add_parser(
+        "repair", help="restore a damaged campaign directory to a "
+                       "resumable state (verified-good records are kept)")
+    repair.add_argument("dir", help="campaign directory")
+    repair.add_argument("--json", action="store_true")
+    repair.set_defaults(func=cmd_repair)
+
     smoke = sub.add_parser(
         "smoke", help="end-to-end resumability self-test (make campaign-smoke)")
     smoke.add_argument("--dir", default=None,
@@ -284,17 +469,36 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--keep", action="store_true",
                        help="keep the working directory afterwards")
     smoke.set_defaults(func=cmd_smoke)
+
+    chaos_smoke = sub.add_parser(
+        "chaos-smoke",
+        help="resilience self-test under injected faults (make chaos-smoke)")
+    chaos_smoke.add_argument("--dir", default=None,
+                             help="working directory (default: temp dir)")
+    chaos_smoke.add_argument("--keep", action="store_true",
+                             help="keep the working directory afterwards")
+    chaos_smoke.add_argument("--faults", default=None, metavar="SPEC",
+                             help="chaos spec (default "
+                                  "'kill:0.2,hang:0.08,torn:0.15,"
+                                  "bitflip:0.15,enospc:2')")
+    chaos_smoke.add_argument("--chaos-seed", type=int, default=20,
+                             help="deterministic chaos decision seed")
+    chaos_smoke.set_defaults(func=cmd_chaos_smoke)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     log.configure()
     obs.enable_from_env()
+    chaos.from_env()
     args = build_parser().parse_args(argv)
     if getattr(args, "dir", None) is None and args.command == "run":
         args.dir = str(Path(".campaigns") / args.kind)
     try:
         return args.func(args)
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return exc.exit_code
     except (ConfigError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -12,12 +12,26 @@ The executor is deliberately fault-tolerant tooling *for* a fault-injection
 tool: per-unit timeouts, bounded retries with exponential backoff, a
 ``fail_fast`` mode that re-raises a worker's traceback in the parent, and
 graceful degradation to serial execution when a pool cannot be created.
+The resilience layer (:mod:`repro.resilience`) adds liveness and
+degradation on top:
+
+* a :class:`~repro.resilience.watchdog.Watchdog` thread kills workers
+  stalled past the unit timeout (SIGTERM, then SIGKILL);
+* parent SIGINT/SIGTERM checkpoints the committed results and raises
+  :class:`~repro.resilience.watchdog.CampaignInterrupted` so the store
+  stays resumable;
+* a unit that exhausts its retries — or takes a worker down twice — is
+  parked in the store's ``quarantine.jsonl`` instead of failing the
+  campaign (see docs/RESILIENCE.md);
+* chaos hook points (:mod:`repro.resilience.chaos`) let the test suite
+  inject worker crashes and hangs into real runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal as _signal
 import time
 import traceback
 from dataclasses import asdict, dataclass
@@ -26,6 +40,13 @@ from typing import Any, Callable, Iterable, Sequence
 from repro import obs
 from repro.common.exceptions import ConfigError, ReproError
 from repro.common.rng import derive_seed
+from repro.resilience import chaos
+from repro.resilience.watchdog import (
+    CampaignInterrupted,
+    Heartbeats,
+    SignalGuard,
+    Watchdog,
+)
 
 #: number of deterministic shards a plan is partitioned into. Shards are a
 #: scheduling/telemetry granularity, not a correctness concern: the mapping
@@ -36,6 +57,14 @@ DEFAULT_SHARDS = 8
 #: hard cap on the default pool size; campaigns scale past this only when
 #: the caller (or REPRO_PROCESSES) asks explicitly.
 MAX_DEFAULT_PROCESSES = 8
+
+#: granularity of the result-polling loop (signal responsiveness)
+_POLL_SECONDS = 0.2
+
+#: error-message prefixes of "hard" failures (the worker was lost, not
+#: just wrong); two of these quarantine a unit early
+_TIMEOUT_PREFIX = "timed out after"
+_POOL_FAILURE_PREFIX = "pool failure:"
 
 
 def default_processes() -> int:
@@ -118,6 +147,13 @@ class UnitResult:
             if isinstance(n, int):
                 return n
         return 0
+
+    @property
+    def hard_failure(self) -> bool:
+        """True when the worker was lost (timeout / pool crash), not
+        merely wrong — the signature of a poison unit."""
+        return bool(self.error) and self.error.startswith(
+            (_TIMEOUT_PREFIX, _POOL_FAILURE_PREFIX))
 
     def to_json(self) -> dict:
         d = asdict(self)
@@ -203,20 +239,46 @@ class EngineConfig:
     #: stop after this many units (used to simulate interruption and to
     #: bound smoke runs); remaining units stay pending for ``resume``
     max_units: int | None = None
+    #: park units that exhaust retries (or hit ``hard_fail_limit``) in
+    #: the store's quarantine instead of recording them as plain
+    #: failures; only effective when a store is attached
+    quarantine: bool = True
+    #: hard failures (timeout / pool crash) before a unit is declared
+    #: poison and quarantined even with retry budget left
+    hard_fail_limit: int = 2
+    #: run the stalled-worker watchdog (SIGTERM -> SIGKILL) in pool mode
+    watchdog: bool = True
+    #: slack added to ``timeout`` before the watchdog fires, and grace
+    #: between its SIGTERM and SIGKILL
+    watchdog_grace: float = 2.0
+    #: checkpoint-and-exit on parent SIGINT/SIGTERM (main thread only)
+    handle_signals: bool = True
 
 
 #: engine-side metric handles (no-ops while observability is disabled)
 _UNITS_TOTAL = obs.REGISTRY.counter("units_total")
 _UNIT_RETRIES = obs.REGISTRY.counter("unit_retries_total")
 _UNIT_SECONDS = obs.REGISTRY.histogram("unit_seconds")
+_UNITS_QUARANTINED = obs.REGISTRY.counter("units_quarantined_total")
 
 #: pid of the process that imported the engine (the campaign parent).
 #: Fork-pool workers inherit this value but report a different getpid(),
 #: which is how a unit knows its spans/metrics must be shipped back.
 _MAIN_PID = os.getpid()
 
+#: (heartbeat board, slot) claimed by this pool worker, set by
+#: :func:`_worker_init`; ``None`` in the parent and in serial mode
+_HEARTBEAT: tuple[Heartbeats, int] | None = None
 
-def _execute_unit(unit: WorkUnit) -> UnitResult:
+
+def _worker_init(heartbeats: Heartbeats | None) -> None:
+    """Fork-pool initializer: claim a heartbeat slot for this worker."""
+    global _HEARTBEAT
+    if heartbeats is not None:
+        _HEARTBEAT = (heartbeats, heartbeats.register())
+
+
+def _execute_unit(unit: WorkUnit, attempt: int = 0) -> UnitResult:
     """Worker-side wrapper: run, time, and account one unit.
 
     The capture window collects the spans and metric increments produced
@@ -227,8 +289,14 @@ def _execute_unit(unit: WorkUnit) -> UnitResult:
     """
     from repro.campaign.goldens import GOLDEN_CACHE
 
+    in_worker = os.getpid() != _MAIN_PID
+    # heartbeat first: a chaos-hung worker must be visible to the watchdog
+    if _HEARTBEAT is not None:
+        _HEARTBEAT[0].start(_HEARTBEAT[1])
+    if chaos.ACTIVE is not None and in_worker:
+        chaos.worker_hook(unit.unit_id, attempt)
     h0, m0 = GOLDEN_CACHE.hits, GOLDEN_CACHE.misses
-    token = obs.capture_begin() if os.getpid() != _MAIN_PID else None
+    token = obs.capture_begin() if in_worker else None
     t0 = time.perf_counter()
     try:
         with obs.span("engine.unit", unit=unit.unit_id, kind=unit.kind,
@@ -237,6 +305,9 @@ def _execute_unit(unit: WorkUnit) -> UnitResult:
         ok, error = True, None
     except Exception:
         value, ok, error = None, False, traceback.format_exc()
+    finally:
+        if _HEARTBEAT is not None:
+            _HEARTBEAT[0].clear(_HEARTBEAT[1])
     elapsed = time.perf_counter() - t0
     return UnitResult(
         unit_id=unit.unit_id, kind=unit.kind, shard=unit.shard, ok=ok,
@@ -247,42 +318,89 @@ def _execute_unit(unit: WorkUnit) -> UnitResult:
     )
 
 
-def _run_wave_serial(units: Sequence[WorkUnit]) -> list[UnitResult]:
-    return [_execute_unit(u) for u in units]
+def _run_wave_serial(units: Sequence[WorkUnit],
+                     guard: SignalGuard | None = None,
+                     attempt: int = 0) -> tuple[list[UnitResult], bool]:
+    results: list[UnitResult] = []
+    for u in units:
+        if guard is not None and guard.requested:
+            return results, True
+        results.append(_execute_unit(u, attempt))
+    return results, guard is not None and guard.requested
 
 
 def _run_wave_pool(units: Sequence[WorkUnit], processes: int,
-                   timeout: float) -> list[UnitResult]:
+                   options: EngineConfig,
+                   guard: SignalGuard | None = None,
+                   attempt: int = 0) -> tuple[list[UnitResult], bool]:
     """One attempt over *units* on a fork pool, with per-unit timeouts.
 
-    A timed-out unit is recorded as a retryable failure; the pool is
-    terminated afterwards so a hung worker cannot leak into later waves.
+    A timed-out unit is recorded as a retryable (hard) failure; the pool
+    is terminated afterwards so a hung worker cannot leak into later
+    waves, and the watchdog reclaims stalled workers mid-wave. Returns
+    the results plus whether a shutdown signal cut the wave short.
     """
     ctx = mp.get_context("fork")
-    pool = ctx.Pool(processes)
+    heartbeats = (Heartbeats(processes + 32) if options.watchdog else None)
+    pool = ctx.Pool(processes, initializer=_worker_init,
+                    initargs=(heartbeats,))
+    watchdog = None
+    if heartbeats is not None:
+        watchdog = Watchdog(
+            heartbeats, options.timeout, grace=options.watchdog_grace,
+            kill_grace=options.watchdog_grace,
+            on_escalate=lambda pid, sig: obs.BUS.emit(
+                "engine.watchdog", {"pid": pid, "signal": sig}))
+        watchdog.start()
     results: list[UnitResult] = []
-    timed_out = False
+    interrupted = False
+    dirty = False  # a worker was lost or the wave was cut short
     try:
-        handles = [(u, pool.apply_async(_execute_unit, (u,))) for u in units]
+        handles = [(u, pool.apply_async(_execute_unit, (u, attempt)))
+                   for u in units]
         for u, h in handles:
-            try:
-                results.append(h.get(timeout))
-            except mp.TimeoutError:
-                timed_out = True
-                results.append(UnitResult(
-                    unit_id=u.unit_id, kind=u.kind, shard=u.shard, ok=False,
-                    error=f"timed out after {timeout:.0f}s", elapsed=timeout))
-            except Exception:
-                results.append(UnitResult(
-                    unit_id=u.unit_id, kind=u.kind, shard=u.shard, ok=False,
-                    error=traceback.format_exc()))
+            deadline = time.monotonic() + options.timeout
+            while True:
+                if guard is not None and guard.requested:
+                    interrupted = True
+                    break
+                try:
+                    results.append(h.get(_POLL_SECONDS))
+                    break
+                except mp.TimeoutError:
+                    if time.monotonic() >= deadline:
+                        dirty = True
+                        results.append(UnitResult(
+                            unit_id=u.unit_id, kind=u.kind, shard=u.shard,
+                            ok=False,
+                            error=f"{_TIMEOUT_PREFIX} "
+                                  f"{options.timeout:.0f}s",
+                            elapsed=options.timeout))
+                        break
+                except Exception:
+                    dirty = True
+                    results.append(UnitResult(
+                        unit_id=u.unit_id, kind=u.kind, shard=u.shard,
+                        ok=False,
+                        error=f"{_POOL_FAILURE_PREFIX}\n"
+                              f"{traceback.format_exc()}"))
+                    break
+            if interrupted:
+                break
     finally:
-        if timed_out:
+        if watchdog is not None:
+            watchdog.stop()
+            if watchdog.sigterms or watchdog.sigkills:
+                dirty = True
+                obs.BUS.emit("engine.watchdog.summary",
+                             {"sigterm": watchdog.sigterms,
+                              "sigkill": watchdog.sigkills})
+        if dirty or interrupted:
             pool.terminate()
         else:
             pool.close()
         pool.join()
-    return results
+    return results, interrupted
 
 
 def execute(units: Iterable[WorkUnit],
@@ -298,7 +416,9 @@ def execute(units: Iterable[WorkUnit],
     Returns the results produced by **this** call, keyed by unit id; a
     resuming caller merges them with ``store.load_results()``. Completed
     units are appended to *store* (if given) as they finish, so an
-    interrupted campaign loses at most the in-flight units.
+    interrupted campaign loses at most the in-flight units. Parent
+    SIGINT/SIGTERM raises :class:`CampaignInterrupted` *after* the
+    already-finished units were committed (``.results`` carries them).
     """
     from repro.campaign.telemetry import Telemetry
 
@@ -312,21 +432,32 @@ def execute(units: Iterable[WorkUnit],
     skip = set(completed)
     if store is not None:
         skip |= store.completed_ids()
+        skip |= store.quarantined_ids()
     pending = [u for u in units if u.unit_id not in skip]
     if options.max_units is not None:
         pending = pending[:options.max_units]
 
     done: dict[str, UnitResult] = {}
+    hard_fails: dict[str, int] = {}
 
-    def commit(result: UnitResult) -> None:
+    def commit(result: UnitResult, quarantine_reason: str | None = None
+               ) -> None:
         done[result.unit_id] = result
         obs.absorb(result.obs)
         result.obs = None
         _UNITS_TOTAL.inc(kind=result.kind, ok=str(result.ok).lower())
         _UNIT_SECONDS.observe(result.elapsed, kind=result.kind)
-        obs.BUS.emit("unit.commit", result)
-        if store is not None:
-            store.append_result(result)
+        if quarantine_reason is not None:
+            _UNITS_QUARANTINED.inc(kind=result.kind)
+            obs.event("unit.quarantine", unit=result.unit_id,
+                      reason=quarantine_reason)
+            obs.BUS.emit("unit.quarantine", result)
+            if store is not None:
+                store.append_quarantine(result, quarantine_reason)
+        else:
+            obs.BUS.emit("unit.commit", result)
+            if store is not None:
+                store.append_result(result)
         if on_result is not None:
             on_result(result)
 
@@ -335,44 +466,77 @@ def execute(units: Iterable[WorkUnit],
     subscriptions = obs.BUS.subscribed(
         ("unit.commit", telemetry.record),
         ("unit.retry", telemetry.note_retry),
+        ("unit.quarantine", telemetry.note_quarantined),
+        ("engine.watchdog.summary", telemetry.note_watchdog),
     )
     attempt = 0
+    guard = SignalGuard() if options.handle_signals else None
+    interrupted = False
     with subscriptions:
-        while pending:
-            if attempt > 0:
-                time.sleep(options.backoff * (2 ** (attempt - 1)))
-            pooled = processes > 1 and len(pending) > 1
-            with obs.span("engine.wave", attempt=attempt,
-                          pending=len(pending),
-                          mode="pool" if pooled else "serial"):
-                if pooled:
-                    try:
-                        results = _run_wave_pool(pending, processes,
-                                                 options.timeout)
-                    except (OSError, ValueError) as exc:
-                        # no fork / fd exhaustion / bad pool size:
-                        # degrade, don't die
-                        telemetry.note_degraded(f"pool unavailable ({exc}); "
-                                                "running serially")
-                        results = _run_wave_serial(pending)
-                else:
-                    results = _run_wave_serial(pending)
+        if guard is not None:
+            guard.__enter__()
+        try:
+            while pending and not interrupted:
+                if attempt > 0:
+                    time.sleep(options.backoff * (2 ** (attempt - 1)))
+                pooled = processes > 1 and len(pending) > 1
+                with obs.span("engine.wave", attempt=attempt,
+                              pending=len(pending),
+                              mode="pool" if pooled else "serial"):
+                    if pooled:
+                        try:
+                            results, interrupted = _run_wave_pool(
+                                pending, processes, options, guard, attempt)
+                        except (OSError, ValueError) as exc:
+                            # no fork / fd exhaustion / bad pool size:
+                            # degrade, don't die
+                            telemetry.note_degraded(
+                                f"pool unavailable ({exc}); "
+                                "running serially")
+                            results, interrupted = _run_wave_serial(
+                                pending, guard, attempt)
+                    else:
+                        results, interrupted = _run_wave_serial(
+                            pending, guard, attempt)
 
-            by_id = {u.unit_id: u for u in pending}
-            pending = []
-            for r in results:
-                r.retries = attempt
-                if r.ok:
-                    commit(r)
-                elif options.fail_fast:
-                    raise CampaignUnitError(r.unit_id,
-                                            r.error or "unknown error")
-                elif attempt < options.retries:
-                    _UNIT_RETRIES.inc(kind=r.kind)
-                    obs.event("unit.retry", unit=r.unit_id, attempt=attempt)
-                    obs.BUS.emit("unit.retry", r)
-                    pending.append(by_id[r.unit_id])
-                else:
-                    commit(r)
-            attempt += 1
+                by_id = {u.unit_id: u for u in pending}
+                pending = []
+                for r in results:
+                    r.retries = attempt
+                    if r.ok:
+                        commit(r)
+                        continue
+                    if options.fail_fast:
+                        raise CampaignUnitError(r.unit_id,
+                                                r.error or "unknown error")
+                    if r.hard_failure:
+                        hard_fails[r.unit_id] = \
+                            hard_fails.get(r.unit_id, 0) + 1
+                    poison = (hard_fails.get(r.unit_id, 0)
+                              >= options.hard_fail_limit)
+                    if attempt < options.retries and not poison:
+                        _UNIT_RETRIES.inc(kind=r.kind)
+                        obs.event("unit.retry", unit=r.unit_id,
+                                  attempt=attempt)
+                        obs.BUS.emit("unit.retry", r)
+                        pending.append(by_id[r.unit_id])
+                        continue
+                    if store is not None and options.quarantine:
+                        reason = (
+                            f"poison unit: {hard_fails[r.unit_id]} hard "
+                            f"failures (worker lost)" if poison else
+                            f"retries exhausted after {attempt + 1} attempts")
+                        commit(r, quarantine_reason=reason)
+                    else:
+                        commit(r)
+                attempt += 1
+            if interrupted or (guard is not None and guard.requested):
+                signum = (guard.signum if guard is not None
+                          and guard.signum else _signal.SIGINT)
+                exc = CampaignInterrupted(signum, committed=len(done))
+                exc.results = done
+                raise exc
+        finally:
+            if guard is not None:
+                guard.__exit__(None, None, None)
     return done

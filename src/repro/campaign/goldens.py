@@ -12,19 +12,30 @@ Entries are content-addressed: the key is the SHA-256 of the identity
 tuple ``(workload, scale, seed, mem_words)`` and each entry additionally
 records the SHA-256 digest of the golden output bits, so result stores can
 assert they were classified against the same reference.
+
+With :meth:`GoldenCache.persist_to` the cache additionally spills entries
+to a directory (campaigns use ``<campaign dir>/goldens/``): writes are
+atomic (tmp + ``os.replace``), and every read re-hashes the stored bits
+against the recorded digest — a truncated or bit-flipped entry is
+discarded and recomputed-and-rewritten instead of poisoning every
+classification that follows (see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
 import functools
 import hashlib
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro import obs
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.device import Device
+from repro.obs import log
 from repro.workloads import get_workload
 
 #: default global-memory size campaigns run workloads with
@@ -78,15 +89,30 @@ def _compute(app: str, scale: str, seed: int, mem_words: int) -> GoldenRun:
 
 
 class GoldenCache:
-    """Process-local golden-run cache with hit/miss accounting."""
+    """Process-local golden-run cache with hit/miss accounting and an
+    optional integrity-checked disk spill."""
 
     def __init__(self) -> None:
         self._entries: dict[str, GoldenRun] = {}
         self.hits = 0
         self.misses = 0
+        #: spill directory (``persist_to``); None = in-memory only
+        self.disk_dir: Path | None = None
+        self.disk_hits = 0
+        #: disk entries rejected by the digest check and recomputed
+        self.disk_rejects = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def persist_to(self, directory: str | Path | None) -> None:
+        """Spill entries to *directory* (resume reuses golden runs across
+        process restarts); ``None`` disables persistence."""
+        if directory is None:
+            self.disk_dir = None
+            return
+        self.disk_dir = Path(directory)
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
 
     def get(self, app: str, scale: str, seed: int,
             mem_words: int = DEFAULT_MEM_WORDS) -> GoldenRun:
@@ -97,12 +123,77 @@ class GoldenCache:
             self.hits += 1
             _CACHE_LOOKUPS.inc(cache="golden", result="hit")
             return entry
+        entry = self._disk_load(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            _CACHE_LOOKUPS.inc(cache="golden", result="disk_hit")
+            self._entries[key] = entry
+            return entry
         self.misses += 1
         _CACHE_LOOKUPS.inc(cache="golden", result="miss")
         with obs.span("golden.compute", app=app, scale=scale):
             entry = _compute(app, scale, seed, mem_words)
         self._entries[key] = entry
+        self._disk_store(entry)
         return entry
+
+    # -- disk spill ----------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.npz"
+
+    def _disk_load(self, key: str) -> GoldenRun | None:
+        """Load + verify one spilled entry; a corrupt entry is discarded
+        (the caller recomputes and rewrites it) instead of raising."""
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                bits = np.array(z["bits"])
+                meta = json.loads(str(z["meta"][()]))
+            digest = hashlib.sha256(
+                np.ascontiguousarray(bits).tobytes()).hexdigest()
+            if meta.get("key") != key or meta.get("digest") != digest:
+                raise ValueError("golden entry digest mismatch")
+            return GoldenRun(
+                key=key, bits=bits,
+                dynamic_instructions=int(meta["dynamic_instructions"]),
+                digest=digest)
+        except Exception as exc:
+            self.disk_rejects += 1
+            log.warning(f"golden cache entry {path.name} is corrupt "
+                        f"({exc}); recomputing")
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, entry: GoldenRun) -> None:
+        """Atomically spill one entry (tmp + ``os.replace``); persistence
+        is an optimization, so write failures degrade to a warning."""
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(entry.key)
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        meta = json.dumps({
+            "key": entry.key,
+            "digest": entry.digest,
+            "dynamic_instructions": entry.dynamic_instructions,
+        })
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, bits=entry.bits, meta=np.array(meta))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            log.warning(f"could not persist golden cache entry "
+                        f"{path.name}: {exc}")
+            tmp.unlink(missing_ok=True)
 
     def warm(self, specs) -> int:
         """Pre-compute golden runs for ``(app, scale, seed, mem_words)``
@@ -120,9 +211,14 @@ class GoldenCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
+        """Drop in-memory entries and counters (disk spill dir is kept
+        but also reset to disabled for test isolation)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_rejects = 0
+        self.disk_dir = None
 
 
 #: the process singleton; forked workers inherit warmed entries

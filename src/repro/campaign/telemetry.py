@@ -56,6 +56,11 @@ class Telemetry:
         self.shards: dict[int, ShardStats] = defaultdict(ShardStats)
         self.started = time.perf_counter()
         self.degraded: str | None = None
+        #: poison units parked in quarantine instead of failing the run
+        self.quarantined = 0
+        #: stalled workers the watchdog escalated on (SIGTERM / SIGKILL)
+        self.watchdog_sigterms = 0
+        self.watchdog_sigkills = 0
         #: misses/hits charged to cache warm-up (parent-side, pre-fork)
         self.warm_hits = 0
         self.warm_misses = 0
@@ -72,6 +77,15 @@ class Telemetry:
 
     def note_retry(self, result: UnitResult) -> None:
         self.shards[result.shard].retries += 1
+
+    def note_quarantined(self, result: UnitResult) -> None:
+        """A poison unit was parked (also counted as a shard failure)."""
+        self.quarantined += 1
+        self.shards[result.shard].failures += 1
+
+    def note_watchdog(self, summary: dict) -> None:
+        self.watchdog_sigterms += summary.get("sigterm", 0)
+        self.watchdog_sigkills += summary.get("sigkill", 0)
 
     def note_degraded(self, reason: str) -> None:
         self.degraded = reason
@@ -113,10 +127,12 @@ class Telemetry:
     def progress_line(self) -> str:
         t = self.totals
         pruned = f", {t.pruned} pruned" if t.pruned else ""
+        quarantined = (f", {self.quarantined} quarantined"
+                       if self.quarantined else "")
         return (f"[campaign] {t.units} units, {t.items} items{pruned}, "
                 f"{self.wall_items_per_sec():.1f} items/s, "
                 f"cache {100 * self.cache_hit_rate():.1f}%, "
-                f"{t.retries} retries, {t.failures} failures")
+                f"{t.retries} retries, {t.failures} failures{quarantined}")
 
     def report(self) -> dict:
         t = self.totals
@@ -130,6 +146,9 @@ class Telemetry:
             "items_per_sec_wall": round(self.wall_items_per_sec(), 2),
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
             "degraded": self.degraded,
+            "quarantined": self.quarantined,
+            "watchdog": {"sigterm": self.watchdog_sigterms,
+                         "sigkill": self.watchdog_sigkills},
             "shards": {
                 shard: {
                     "units": s.units,

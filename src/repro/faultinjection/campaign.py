@@ -67,6 +67,10 @@ class CampaignConfig:
     seed: int = DEFAULT_SEED
     processes: int = field(default_factory=default_processes)
     fail_fast: bool = True
+    #: per-unit wall-clock budget (engine watchdog backstop)
+    timeout: float = 600.0
+    #: re-runs of a failed unit before it is quarantined/recorded
+    retries: int = 2
     #: fault-list reduction applied before sampling: "none" keeps the raw
     #: stuck-at universe; "structural" collapses equivalent faults
     #: (BUF/NOT chains + controlling values) and drops untestable ones
@@ -399,7 +403,8 @@ def run_gate_campaign(config: CampaignConfig,
         store.write_manifest(plan.kind, plan.config, len(plan.units))
 
     options = EngineConfig(processes=config.processes,
-                           fail_fast=config.fail_fast, max_units=max_units)
+                           fail_fast=config.fail_fast, max_units=max_units,
+                           timeout=config.timeout, retries=config.retries)
     executed = execute(plan.units, options, context=plan.context,
                        store=store, telemetry=telemetry,
                        completed=completed, on_result=on_result)

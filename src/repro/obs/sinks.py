@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 
 from repro.obs import metrics as _metrics
+from repro.resilience import integrity
 
 EVENTS_NAME = "events.jsonl"
 METRICS_NAME = "metrics.json"
@@ -31,9 +32,9 @@ TRACE_NAME = "trace.json"
 def append_events(directory: str | Path, records: list[dict]) -> Path:
     path = Path(directory) / EVENTS_NAME
     if records:
-        with open(path, "a") as fh:
-            for rec in records:
-                fh.write(json.dumps(rec) + "\n")
+        # one append with ENOSPC backoff (repro.resilience.integrity)
+        data = "".join(json.dumps(rec) + "\n" for rec in records)
+        integrity.append_text(path, data)
     return path
 
 
@@ -66,7 +67,9 @@ def write_metrics(directory: str | Path, snapshot: dict) -> Path:
         except (ValueError, OSError):
             existing = None
         snapshot = _metrics.merge_snapshots(existing, snapshot)
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    # atomic replace: a crash mid-flush must not tear the merged snapshot
+    integrity.atomic_write_text(
+        path, json.dumps(snapshot, indent=2, sort_keys=True), durable=False)
     return path
 
 

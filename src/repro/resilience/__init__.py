@@ -1,0 +1,65 @@
+"""Campaign resilience layer: crash-safe state and fault-injected proof.
+
+The paper's methodology rests on huge exhaustive campaigns (millions of
+gate-level injections, 15 workloads x 13 error models at the software
+level). At that scale the harness itself is exposed to the same failure
+classes it studies in hardware: silent corruption of the stores it
+resumes from would skew EPR/FAPR numbers exactly like an SDC skews a
+workload's output. This package makes every campaign crash-safe and
+self-verifying:
+
+* **integrity** (:mod:`repro.resilience.integrity`) — per-record
+  checksums for JSONL stores, atomic tmp+rename+fsync file replacement,
+  append paths with ENOSPC backoff, and a tolerant scanner that
+  classifies torn / corrupt / legacy records instead of raising;
+* **liveness** (:mod:`repro.resilience.watchdog`) — shared-memory worker
+  heartbeats, a parent-side watchdog thread that escalates
+  SIGTERM -> SIGKILL on stalled workers, and a :class:`SignalGuard` that
+  turns parent SIGINT/SIGTERM into a cooperative checkpoint-and-exit
+  (:class:`CampaignInterrupted`, exit code ``128 + signum``);
+* **degradation** — poison-unit quarantine (wired into
+  :mod:`repro.campaign.engine` / :mod:`repro.campaign.store`): a unit
+  that exhausts its retries or repeatedly takes a worker down is parked
+  in ``quarantine.jsonl`` instead of failing the campaign;
+* **proof** (:mod:`repro.resilience.chaos`,
+  :mod:`repro.resilience.verify`) — deterministic, env-gated
+  infrastructure-fault injection (worker kill -9, hang, torn writes,
+  bit-flipped records, ENOSPC) plus a ``verify``/``repair`` pass over
+  campaign directories. ``python -m repro.campaign chaos-smoke`` runs a
+  real campaign under chaos and proves the recovered results equal an
+  undisturbed run.
+
+``repro.resilience.verify`` is imported lazily (by the campaign CLI and
+tests) because it depends back on :mod:`repro.campaign.store`.
+"""
+
+from repro.resilience import chaos, integrity
+from repro.resilience.integrity import (
+    CHECKSUM_FIELD,
+    ScanReport,
+    atomic_write_text,
+    record_checksum,
+    scan_jsonl,
+    seal,
+)
+from repro.resilience.watchdog import (
+    CampaignInterrupted,
+    Heartbeats,
+    SignalGuard,
+    Watchdog,
+)
+
+__all__ = [
+    "CHECKSUM_FIELD",
+    "CampaignInterrupted",
+    "Heartbeats",
+    "ScanReport",
+    "SignalGuard",
+    "Watchdog",
+    "atomic_write_text",
+    "chaos",
+    "integrity",
+    "record_checksum",
+    "scan_jsonl",
+    "seal",
+]

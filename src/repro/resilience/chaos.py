@@ -1,0 +1,191 @@
+"""Deterministic infrastructure-fault injection (the chaos harness).
+
+A fault-injection campaign engine should be tested the way it tests
+hardware: by injecting faults and checking the outcome. This module
+injects *infrastructure* faults into real campaign runs through three
+hook points that are compiled down to near-no-ops when chaos is off
+(one module-attribute check):
+
+==========  ===========================================================
+fault       effect at the hook point
+==========  ===========================================================
+``kill``    a pool worker SIGKILLs itself at unit start (crash)
+``hang``    a pool worker sleeps past every timeout (stall; exercises
+            the watchdog's SIGTERM -> SIGKILL escalation)
+``torn``    a store append writes only a prefix of the line and no
+            newline (crash mid-``write(2)``)
+``bitflip`` one bit of a serialized record is flipped before it hits
+            the disk (silent media/DMA corruption)
+``enospc``  the next N filesystem operations raise ``ENOSPC``
+            (disk full; exercises the sinks' backoff)
+==========  ===========================================================
+
+Faults are selected **deterministically**: each decision hashes the
+chaos seed, the fault name and the hook's identity keys (unit id,
+attempt number, ...) via :func:`repro.common.rng.derive_seed`, so a
+chaos run is exactly reproducible and — because the attempt number is
+part of the key — a unit killed on attempt 0 is spared on attempt 1 and
+the campaign converges.
+
+Activation: set ``REPRO_CHAOS`` (e.g.
+``REPRO_CHAOS="kill:0.2,torn:0.1,enospc:2"``) and optionally
+``REPRO_CHAOS_SEED`` before launching a campaign CLI, or call
+:func:`configure` programmatically. ``kill``/``hang`` fire only inside
+fork-pool workers — the engine guards the hook so a serial campaign
+never shoots its own parent process.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from collections import Counter
+
+from repro.common.exceptions import ConfigError
+from repro.common.rng import derive_seed
+
+ENV = "REPRO_CHAOS"
+ENV_SEED = "REPRO_CHAOS_SEED"
+
+#: probability faults (per-decision) and budget faults (per-process count)
+PROB_FAULTS = ("kill", "hang", "torn", "bitflip")
+BUDGET_FAULTS = ("enospc",)
+FAULTS = PROB_FAULTS + BUDGET_FAULTS
+
+#: how long a chaos-hung worker sleeps (long enough to trip any timeout;
+#: the watchdog or the pool teardown kills it first)
+HANG_SECONDS = 3600.0
+
+
+class ChaosState:
+    """Parsed chaos configuration plus per-process firing accounting."""
+
+    def __init__(self, faults: dict[str, float], seed: int = 0):
+        unknown = set(faults) - set(FAULTS)
+        if unknown:
+            raise ConfigError(
+                f"unknown chaos fault(s) {sorted(unknown)}; "
+                f"known: {sorted(FAULTS)}")
+        self.faults = dict(faults)
+        self.seed = int(seed)
+        self.fired: Counter = Counter()
+        self.enospc_budget = int(faults.get("enospc", 0))
+
+    def summary(self) -> dict:
+        return {"seed": self.seed, "faults": dict(self.faults),
+                "fired": dict(self.fired)}
+
+
+#: the process-wide chaos state; ``None`` means chaos is off. Forked
+#: pool workers inherit the parent's state, so decisions stay seeded.
+ACTIVE: ChaosState | None = None
+
+
+def parse_spec(spec: str) -> dict[str, float]:
+    """Parse ``"kill:0.2,torn:0.1,enospc:2"`` into a fault map."""
+    faults: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition(":")
+        name = name.strip()
+        try:
+            faults[name] = float(value) if value else 1.0
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad chaos fault spec {part!r} (want name:number)") from exc
+    return faults
+
+
+def configure(spec: str | dict[str, float], seed: int = 0) -> ChaosState:
+    """Activate chaos with *spec* (string or fault map) and *seed*."""
+    global ACTIVE
+    faults = parse_spec(spec) if isinstance(spec, str) else dict(spec)
+    ACTIVE = ChaosState(faults, seed=seed)
+    return ACTIVE
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def enabled() -> bool:
+    return ACTIVE is not None
+
+
+def from_env(environ=os.environ) -> ChaosState | None:
+    """Activate chaos from ``REPRO_CHAOS`` / ``REPRO_CHAOS_SEED``."""
+    spec = environ.get(ENV)
+    if not spec:
+        return None
+    return configure(spec, seed=int(environ.get(ENV_SEED, "0")))
+
+
+def _roll(state: ChaosState, fault: str, *keys) -> bool:
+    p = state.faults.get(fault, 0.0)
+    if p <= 0.0:
+        return False
+    frac = (derive_seed(state.seed, "chaos", fault, *keys) % 1_000_000
+            ) / 1_000_000
+    return frac < p
+
+
+# ---------------------------------------------------------------------
+# hook points
+# ---------------------------------------------------------------------
+
+def worker_hook(unit_id: str, attempt: int) -> None:
+    """Worker-side hook at unit start: maybe crash or stall this worker.
+
+    The caller must guarantee this runs in a disposable pool worker, not
+    the campaign parent.
+    """
+    state = ACTIVE
+    if state is None:
+        return
+    if _roll(state, "kill", unit_id, attempt):
+        state.fired["kill"] += 1
+        os.kill(os.getpid(), signal.SIGKILL)
+    if _roll(state, "hang", unit_id, attempt):
+        state.fired["hang"] += 1
+        time.sleep(HANG_SECONDS)
+
+
+def mangle_line(line: str, *keys) -> str:
+    """Store-side hook: maybe tear or bit-flip a serialized record.
+
+    *line* includes its trailing newline; a torn result loses the tail
+    (and the newline), a bit-flipped one keeps its length.
+    """
+    state = ACTIVE
+    if state is None:
+        return line
+    if _roll(state, "torn", *keys):
+        state.fired["torn"] += 1
+        return line[:max(1, (len(line) - 1) // 2)]
+    if _roll(state, "bitflip", *keys):
+        state.fired["bitflip"] += 1
+        body = line[:-1] if line.endswith("\n") else line
+        if body:
+            pos = derive_seed(state.seed, "bitflip-pos", *keys) % len(body)
+            bit = 1 << (derive_seed(state.seed, "bitflip-bit", *keys) % 7)
+            flipped = chr(ord(body[pos]) ^ bit)
+            body = body[:pos] + flipped + body[pos + 1:]
+        return body + ("\n" if line.endswith("\n") else "")
+    return line
+
+
+def fs_hook(op: str, path) -> None:
+    """Filesystem-side hook: maybe raise ``ENOSPC`` (budgeted)."""
+    state = ACTIVE
+    if state is None:
+        return
+    if state.enospc_budget > 0:
+        state.enospc_budget -= 1
+        state.fired["enospc"] += 1
+        raise OSError(errno.ENOSPC,
+                      f"chaos: simulated ENOSPC on {op}", str(path))

@@ -1,0 +1,281 @@
+"""Record-level integrity for campaign state files.
+
+Three primitives, shared by the campaign store, the golden cache and the
+observability sinks:
+
+* **sealed records** — every JSONL record carries a truncated SHA-256
+  checksum over its canonical JSON body in the :data:`CHECKSUM_FIELD`
+  key. A single flipped bit anywhere in the record (including inside the
+  checksum itself) is detected on read.
+* **atomic replacement** — :func:`atomic_write_text` writes through a
+  same-directory temp file, fsyncs it, and ``os.replace``\\ s it over the
+  destination, so a crash mid-write can never leave a half-written
+  manifest or metrics file behind.
+* **tolerant scanning** — :func:`scan_jsonl` classifies every line of a
+  store (``ok`` / ``legacy`` / ``torn`` / ``garbage`` / ``corrupt``)
+  instead of raising on the first bad byte. Loaders drop bad lines,
+  which automatically rewinds the resume frontier to the last
+  verified-good record; :mod:`repro.resilience.verify` turns the same
+  scan into an explicit ``verify``/``repair`` pass.
+
+Both write paths retry on ``ENOSPC`` with exponential backoff (a full
+disk at hour 40 of a paper-scale campaign should stall, not corrupt),
+and both host the :mod:`repro.resilience.chaos` filesystem hook so the
+chaos harness can prove that behaviour.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.resilience import chaos
+
+#: JSON key carrying the record checksum inside sealed JSONL records
+CHECKSUM_FIELD = "_sum"
+
+#: hex digits kept from the SHA-256 digest (64-bit checksum)
+CHECKSUM_HEX = 16
+
+#: ENOSPC backoff: attempts and base delay (exponential: 0.05, 0.1, ...)
+ENOSPC_ATTEMPTS = 6
+ENOSPC_BACKOFF = 0.05
+
+
+# ---------------------------------------------------------------------
+# sealed records
+# ---------------------------------------------------------------------
+
+def canonical_json(record: dict) -> str:
+    """Canonical JSON form the checksum is computed over (sorted keys,
+    no whitespace) — independent of how the line itself is formatted."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def record_checksum(record: dict) -> str:
+    """Checksum of *record*'s body (the :data:`CHECKSUM_FIELD` key,
+    if present, is excluded from the digest)."""
+    body = {k: v for k, v in record.items() if k != CHECKSUM_FIELD}
+    digest = hashlib.sha256(canonical_json(body).encode()).hexdigest()
+    return digest[:CHECKSUM_HEX]
+
+
+def seal(record: dict) -> dict:
+    """Return a copy of *record* carrying its checksum."""
+    sealed = dict(record)
+    sealed[CHECKSUM_FIELD] = record_checksum(record)
+    return sealed
+
+
+def unseal(record: dict) -> tuple[dict, str]:
+    """Split a parsed record into (body, status).
+
+    Status is ``"ok"`` (checksum present and valid), ``"legacy"``
+    (no checksum — written before the resilience layer; accepted) or
+    ``"corrupt"`` (checksum mismatch).
+    """
+    if CHECKSUM_FIELD not in record:
+        return dict(record), "legacy"
+    body = {k: v for k, v in record.items() if k != CHECKSUM_FIELD}
+    if record[CHECKSUM_FIELD] != record_checksum(body):
+        return body, "corrupt"
+    return body, "ok"
+
+
+# ---------------------------------------------------------------------
+# tolerant JSONL scanning
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LineIssue:
+    """One bad line found while scanning a JSONL store."""
+
+    line_no: int          # 1-based
+    kind: str             # "torn" | "garbage" | "corrupt"
+    detail: str
+
+
+@dataclass
+class ScanReport:
+    """Outcome of one tolerant pass over a JSONL file."""
+
+    path: Path
+    #: verified (or legacy) record bodies, file order, checksum stripped
+    records: list[dict] = field(default_factory=list)
+    #: raw text of the good lines (for loss-free repair rewrites)
+    good_lines: list[str] = field(default_factory=list)
+    #: raw text of the rejected lines (for forensics)
+    bad_lines: list[tuple[LineIssue, str]] = field(default_factory=list)
+    issues: list[LineIssue] = field(default_factory=list)
+    legacy: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        kinds = {}
+        for issue in self.issues:
+            kinds[issue.kind] = kinds.get(issue.kind, 0) + 1
+        parts = [f"{n} {k}" for k, n in sorted(kinds.items())]
+        return (f"{self.path.name}: {len(self.records)} records"
+                + (f", dropped {', '.join(parts)}" if parts else ""))
+
+
+def scan_jsonl(path: str | Path) -> ScanReport:
+    """Scan a (possibly damaged) JSONL file without raising.
+
+    Classification per line:
+
+    * parses + checksum valid -> record (``ok``);
+    * parses + no checksum -> record (``legacy``, counted);
+    * parses + checksum mismatch -> dropped (``corrupt``);
+    * unparseable final line of a file with no trailing newline ->
+      dropped (``torn`` — the classic crash-mid-append signature);
+    * unparseable anywhere else -> dropped (``garbage``).
+    """
+    path = Path(path)
+    report = ScanReport(path=path)
+    if not path.exists():
+        return report
+    text = path.read_text()
+    if not text:
+        return report
+    ends_complete = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+            if not isinstance(parsed, dict):
+                raise ValueError("not a JSON object")
+        except ValueError as exc:
+            kind = "torn" if (i == last and not ends_complete) else "garbage"
+            issue = LineIssue(i + 1, kind, f"unparseable line: {exc}")
+            report.issues.append(issue)
+            report.bad_lines.append((issue, line))
+            continue
+        body, status = unseal(parsed)
+        if status == "corrupt":
+            issue = LineIssue(i + 1, "corrupt",
+                              "record checksum mismatch (bit flip or "
+                              "partial overwrite)")
+            report.issues.append(issue)
+            report.bad_lines.append((issue, line))
+            continue
+        if status == "legacy":
+            report.legacy += 1
+        report.records.append(body)
+        report.good_lines.append(line)
+    return report
+
+
+# ---------------------------------------------------------------------
+# durable writes
+# ---------------------------------------------------------------------
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry (rename durability); no-op where
+    unsupported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _with_enospc_backoff(op, *, what: str):
+    """Run *op*, retrying on ENOSPC with exponential backoff."""
+    delay = ENOSPC_BACKOFF
+    for attempt in range(ENOSPC_ATTEMPTS):
+        try:
+            return op()
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC or attempt == ENOSPC_ATTEMPTS - 1:
+                raise
+            time.sleep(delay)
+            delay *= 2
+
+
+def atomic_write_text(path: str | Path, text: str, *,
+                      durable: bool = True) -> Path:
+    """Atomically replace *path* with *text* (tmp + fsync + rename).
+
+    Readers never observe a partial file: they see either the old
+    content or the new content. With *durable* the data and the rename
+    are fsynced, so the replacement also survives power loss.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+
+    def op():
+        chaos.fs_hook("write", path)
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            if durable:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_directory(path.parent)
+        return path
+
+    try:
+        return _with_enospc_backoff(op, what=str(path))
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+
+
+def _tail_is_torn(path: Path) -> bool:
+    """True when *path* ends mid-line (no trailing newline) — the
+    signature of a crash mid-append."""
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() == 0:
+                return False
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+    except OSError:
+        return False
+
+
+def append_text(path: str | Path, data: str, *,
+                durable: bool = False) -> Path:
+    """Append *data* verbatim (caller supplies the newline) with ENOSPC
+    backoff. Appends are line-atomic on POSIX for our record sizes; with
+    *durable* each append is additionally fsynced.
+
+    A torn tail (previous crash mid-append) is healed first: the append
+    starts with a newline so the torn prefix becomes its own garbage
+    line — which the scanner drops — instead of silently swallowing the
+    new record into it.
+    """
+    path = Path(path)
+
+    def op():
+        chaos.fs_hook("append", path)
+        payload = ("\n" + data) if _tail_is_torn(path) else data
+        with open(path, "a") as fh:
+            fh.write(payload)
+            fh.flush()
+            if durable:
+                os.fsync(fh.fileno())
+        return path
+
+    return _with_enospc_backoff(op, what=str(path))

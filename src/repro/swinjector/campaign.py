@@ -77,6 +77,10 @@ class SwCampaignConfig:
     processes: int = field(default_factory=default_processes)
     mem_words: int = DEFAULT_MEM_WORDS
     fail_fast: bool = True
+    #: per-unit wall-clock budget (engine watchdog backstop)
+    timeout: float = 600.0
+    #: re-runs of a failed unit before it is quarantined/recorded
+    retries: int = 2
     #: skip simulating descriptors the static analyzer proves Masked
     #: (:class:`repro.staticanalysis.StaticPruner`); they are recorded as
     #: Masked outcomes, so every EPR denominator — and every EPR figure —
@@ -363,6 +367,10 @@ def run_epr_campaign(config: SwCampaignConfig | None = None, *,
     config = config or SwCampaignConfig()
     spec = CAMPAIGN_SPEC
     plan_config = spec.config_of(config, chunk=chunk)
+    if store is not None:
+        # spill golden runs next to the results so a resume (in a fresh
+        # process) reuses them instead of recomputing every reference
+        GOLDEN_CACHE.persist_to(store.directory / "goldens")
     plan = spec.build(plan_config)
     if telemetry is not None:
         telemetry.note_warm(*plan.warm_stats)
@@ -372,7 +380,8 @@ def run_epr_campaign(config: SwCampaignConfig | None = None, *,
                                  "hits": plan.warm_stats[0],
                                  "misses": plan.warm_stats[1]}})
     options = EngineConfig(processes=config.processes,
-                           fail_fast=config.fail_fast, max_units=max_units)
+                           fail_fast=config.fail_fast, max_units=max_units,
+                           timeout=config.timeout, retries=config.retries)
     results = execute(plan.units, options, store=store, telemetry=telemetry)
     if store is not None:
         obs.flush(store.directory)
