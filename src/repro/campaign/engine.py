@@ -272,8 +272,19 @@ _HEARTBEAT: tuple[Heartbeats, int] | None = None
 
 
 def _worker_init(heartbeats: Heartbeats | None) -> None:
-    """Fork-pool initializer: claim a heartbeat slot for this worker."""
+    """Fork-pool initializer: reset inherited signal dispositions and
+    claim a heartbeat slot for this worker.
+
+    The parent installs :class:`SignalGuard` handlers *before* the pool
+    forks, so workers inherit them — and a worker that "handles" SIGTERM
+    by setting a flag would survive both ``Pool.terminate()`` and the
+    watchdog's SIGTERM stage, leaving ``pool.join()`` blocked on a
+    stalled worker. Restore SIGTERM to its default (die) and ignore
+    SIGINT: interrupts are the parent's job, handled cooperatively.
+    """
     global _HEARTBEAT
+    _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
     if heartbeats is not None:
         _HEARTBEAT = (heartbeats, heartbeats.register())
 
@@ -523,8 +534,8 @@ def execute(units: Iterable[WorkUnit],
                         continue
                     if store is not None and options.quarantine:
                         reason = (
-                            f"poison unit: {hard_fails[r.unit_id]} hard "
-                            f"failures (worker lost)" if poison else
+                            f"poison unit: {hard_fails.get(r.unit_id, 0)} "
+                            f"hard failures (worker lost)" if poison else
                             f"retries exhausted after {attempt + 1} attempts")
                         commit(r, quarantine_reason=reason)
                     else:

@@ -122,9 +122,9 @@ class CampaignStore:
                             chaos_key=("results", result.unit_id))
 
     def _append_sealed(self, path: Path, record: dict, chaos_key) -> None:
-        line = json.dumps(integrity.seal(record)) + "\n"
-        line = chaos.mangle_line(line, *chaos_key)
-        integrity.append_text(path, line, durable=self.durable)
+        data = (json.dumps(integrity.seal(record)) + "\n").encode("utf-8")
+        data = chaos.mangle_bytes(data, *chaos_key)
+        integrity.append_bytes(path, data, durable=self.durable)
 
     def load_results(self) -> dict[str, UnitResult]:
         """All verified results keyed by unit id (last write wins).

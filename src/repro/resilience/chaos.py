@@ -155,28 +155,39 @@ def worker_hook(unit_id: str, attempt: int) -> None:
         time.sleep(HANG_SECONDS)
 
 
-def mangle_line(line: str, *keys) -> str:
+def mangle_bytes(data: bytes, *keys) -> bytes:
     """Store-side hook: maybe tear or bit-flip a serialized record.
 
-    *line* includes its trailing newline; a torn result loses the tail
-    (and the newline), a bit-flipped one keeps its length.
+    *data* includes its trailing newline; a torn result loses the tail
+    (and the newline), a bit-flipped one keeps its length. The flip
+    covers all 8 bits of the chosen byte — a high-bit flip turns an
+    ASCII record into invalid UTF-8, which the scanner must tolerate.
     """
     state = ACTIVE
     if state is None:
-        return line
+        return data
     if _roll(state, "torn", *keys):
         state.fired["torn"] += 1
-        return line[:max(1, (len(line) - 1) // 2)]
+        return data[:max(1, (len(data) - 1) // 2)]
     if _roll(state, "bitflip", *keys):
         state.fired["bitflip"] += 1
-        body = line[:-1] if line.endswith("\n") else line
+        body = data[:-1] if data.endswith(b"\n") else data
         if body:
             pos = derive_seed(state.seed, "bitflip-pos", *keys) % len(body)
-            bit = 1 << (derive_seed(state.seed, "bitflip-bit", *keys) % 7)
-            flipped = chr(ord(body[pos]) ^ bit)
-            body = body[:pos] + flipped + body[pos + 1:]
-        return body + ("\n" if line.endswith("\n") else "")
-    return line
+            bit = 1 << (derive_seed(state.seed, "bitflip-bit", *keys) % 8)
+            body = body[:pos] + bytes([body[pos] ^ bit]) + body[pos + 1:]
+        return body + (b"\n" if data.endswith(b"\n") else b"")
+    return data
+
+
+def mangle_line(line: str, *keys) -> str:
+    """Text-level wrapper over :func:`mangle_bytes`; bytes that no
+    longer decode (high-bit flips) come back as replacement chars."""
+    state = ACTIVE
+    if state is None:
+        return line
+    return mangle_bytes(line.encode("utf-8"), *keys).decode(
+        "utf-8", errors="replace")
 
 
 def fs_hook(op: str, path) -> None:

@@ -143,7 +143,12 @@ def scan_jsonl(path: str | Path) -> ScanReport:
     report = ScanReport(path=path)
     if not path.exists():
         return report
-    text = path.read_text()
+    # Replace-decode rather than read_text(): a high-bit flip can leave
+    # invalid UTF-8 on disk, and a scanner that raises on exactly the
+    # corruption it exists to tolerate is useless. The replacement char
+    # fails the checksum (or the JSON parse), so the line classifies as
+    # corrupt/garbage like any other damage.
+    text = path.read_bytes().decode("utf-8", errors="replace")
     if not text:
         return report
     ends_complete = text.endswith("\n")
@@ -255,8 +260,8 @@ def _tail_is_torn(path: Path) -> bool:
         return False
 
 
-def append_text(path: str | Path, data: str, *,
-                durable: bool = False) -> Path:
+def append_bytes(path: str | Path, data: bytes, *,
+                 durable: bool = False) -> Path:
     """Append *data* verbatim (caller supplies the newline) with ENOSPC
     backoff. Appends are line-atomic on POSIX for our record sizes; with
     *durable* each append is additionally fsynced.
@@ -265,13 +270,17 @@ def append_text(path: str | Path, data: str, *,
     starts with a newline so the torn prefix becomes its own garbage
     line — which the scanner drops — instead of silently swallowing the
     new record into it.
+
+    Byte-oriented so corrupted payloads (e.g. a chaos high-bit flip that
+    is no longer valid UTF-8) can still be written — exactly what the
+    scanner must then survive reading back.
     """
     path = Path(path)
 
     def op():
         chaos.fs_hook("append", path)
-        payload = ("\n" + data) if _tail_is_torn(path) else data
-        with open(path, "a") as fh:
+        payload = (b"\n" + data) if _tail_is_torn(path) else data
+        with open(path, "ab") as fh:
             fh.write(payload)
             fh.flush()
             if durable:
@@ -279,3 +288,9 @@ def append_text(path: str | Path, data: str, *,
         return path
 
     return _with_enospc_backoff(op, what=str(path))
+
+
+def append_text(path: str | Path, data: str, *,
+                durable: bool = False) -> Path:
+    """:func:`append_bytes` for well-formed text (UTF-8 encoded)."""
+    return append_bytes(path, data.encode("utf-8"), durable=durable)

@@ -23,7 +23,6 @@ gap:
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import os
 import signal
@@ -134,7 +133,11 @@ class Watchdog:
         self.on_escalate = on_escalate
         self.sigterms = 0
         self.sigkills = 0
-        self._termed: dict[int, float] = {}
+        #: (slot, pid) -> SIGTERM time. Keyed by slot *and* pid (and
+        #: dropped when the slot is cleared) so a pool replacement
+        #: worker that reuses a killed worker's pid is still eligible
+        #: for escalation when it stalls.
+        self._termed: dict[tuple[int, int], float] = {}
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="campaign-watchdog")
@@ -160,22 +163,22 @@ class Watchdog:
                     self.timeout + self.grace):
                 if pid <= 0 or pid == me:
                     continue
-                termed_at = self._termed.get(pid)
+                key = (slot, pid)
+                termed_at = self._termed.get(key)
                 if termed_at is None:
                     if self._signal(pid, signal.SIGTERM):
                         self.sigterms += 1
-                        self._termed[pid] = time.time()
+                        self._termed[key] = time.time()
                         if self.on_escalate:
                             self.on_escalate(pid, "SIGTERM")
                     else:  # already gone; free the slot
                         self.heartbeats.clear(slot)
-                elif (math.isfinite(termed_at)
-                      and time.time() - termed_at > self.kill_grace):
+                elif time.time() - termed_at > self.kill_grace:
                     if self._signal(pid, signal.SIGKILL):
                         self.sigkills += 1
                         if self.on_escalate:
                             self.on_escalate(pid, "SIGKILL")
-                    self._termed[pid] = math.inf
+                    self._termed.pop(key, None)
                     self.heartbeats.clear(slot)
 
 

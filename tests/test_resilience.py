@@ -60,6 +60,22 @@ def _always_crash(payload: dict) -> dict:
     raise ValueError(f"permanent failure in unit {payload['x']}")
 
 
+@register_runner("test-signal-probe")
+def _signal_probe(payload: dict) -> dict:
+    """Report this process's SIGTERM/SIGINT dispositions (the pool
+    initializer must have reset the parent's inherited handlers)."""
+    return {"items": 1,
+            "sigterm_default":
+                signal.getsignal(signal.SIGTERM) == signal.SIG_DFL,
+            "sigint_ignored":
+                signal.getsignal(signal.SIGINT) == signal.SIG_IGN}
+
+
+def _ignore_sigterm_and_sleep() -> None:
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(60.0)
+
+
 def _units(kind: str, n: int) -> list[WorkUnit]:
     return [WorkUnit(unit_id=f"{kind}/{i:03d}", kind=kind,
                      payload={"x": i}, shard=shard_of(f"{kind}/{i}"))
@@ -158,6 +174,21 @@ class TestScanJsonl:
     def test_missing_and_empty_files(self, tmp_path):
         assert integrity.scan_jsonl(tmp_path / "absent.jsonl").ok
         assert integrity.scan_jsonl(self._write(tmp_path, "")).ok
+
+    def test_invalid_utf8_is_corrupt_not_a_crash(self, tmp_path):
+        # a high-bit flip leaves bytes that are not valid UTF-8; the
+        # scanner must classify, never raise UnicodeDecodeError
+        good = json.dumps(integrity.seal({"unit_id": "u/0"}))
+        bad = json.dumps(integrity.seal({"unit_id": "u/1"})).encode()
+        pos = bad.index(b"u/1")  # inside a string: still parses as JSON
+        bad = bad[:pos] + bytes([bad[pos] ^ 0x80]) + bad[pos + 1:]
+        with pytest.raises(UnicodeDecodeError):
+            bad.decode()
+        p = tmp_path / "store.jsonl"
+        p.write_bytes(good.encode() + b"\n" + bad + b"\n")
+        report = integrity.scan_jsonl(p)
+        assert [r["unit_id"] for r in report.records] == ["u/0"]
+        assert [i.kind for i in report.issues] == ["corrupt"]
 
 
 class TestAtomicWrites:
@@ -292,6 +323,20 @@ class TestQuarantine:
         assert not store.quarantined_ids()
         assert not store.load_results()["test-always-crash/000"].ok
 
+    def test_hard_fail_limit_zero_quarantines_soft_failures(self, tmp_path):
+        # with hard_fail_limit=0 every failure is immediately poison —
+        # including soft ones with no hard_fails entry; regression for a
+        # KeyError while formatting the quarantine reason
+        store = CampaignStore(tmp_path / "campaign")
+        store.write_manifest("mixed", {}, total_units=1)
+        execute(_units("test-always-crash", 1),
+                EngineConfig(processes=1, retries=2, backoff=0.0,
+                             hard_fail_limit=0), store=store)
+        q = store.load_quarantine()
+        assert set(q) == {"test-always-crash/000"}
+        assert "poison unit: 0 hard failures" in \
+            q["test-always-crash/000"]["reason"]
+
     def test_status_cli_exit_code_3_on_holes(self, tmp_path, capsys):
         from repro.campaign.__main__ import EXIT_HOLES, main
 
@@ -352,6 +397,46 @@ class TestLiveness:
                 proc.join()
         assert dog.sigterms >= 1
         assert escalations and escalations[0] == (proc.pid, "SIGTERM")
+
+    def test_watchdog_sigkills_term_ignoring_worker_and_forgets_pid(self):
+        # a worker stuck ignoring SIGTERM must be SIGKILLed, and the
+        # escalation entry must be dropped afterwards so a pool
+        # replacement reusing the pid can be escalated again
+        proc = multiprocessing.get_context("fork").Process(
+            target=_ignore_sigterm_and_sleep, daemon=True)
+        proc.start()
+        time.sleep(0.2)  # let the child install its SIG_IGN handler
+        hb = Heartbeats(1)
+        hb._pids[0] = proc.pid
+        hb._beats[0] = time.time() - 100.0
+        hb._next.value = 1
+        dog = Watchdog(hb, timeout=0.1, grace=0.05, kill_grace=0.2,
+                       poll=0.05)
+        dog.start()
+        try:
+            proc.join(timeout=10.0)
+            assert proc.exitcode is not None, "watchdog never SIGKILLed"
+        finally:
+            dog.stop()
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        assert dog.sigterms >= 1 and dog.sigkills >= 1
+        assert not dog._termed  # pid-reuse eligibility restored
+
+    def test_pool_workers_reset_inherited_signal_handlers(self):
+        # the parent's SignalGuard handlers ride through fork(); the
+        # pool initializer must restore SIGTERM=default / SIGINT=ignore
+        # or Pool.terminate() and the watchdog cannot kill a worker
+        results = execute(_units("test-signal-probe", 4),
+                          EngineConfig(processes=2, watchdog=False,
+                                       handle_signals=True))
+        assert len(results) == 4
+        for r in results.values():
+            assert r.ok
+            assert r.value["sigterm_default"], \
+                "worker inherited the parent's SIGTERM handler"
+            assert r.value["sigint_ignored"]
 
     def test_signal_guard_captures_first_signal(self):
         with SignalGuard(signums=(signal.SIGUSR1,)) as guard:
@@ -454,6 +539,28 @@ class TestChaos:
         out = chaos.mangle_line('{"a": 1}\n', "k")
         assert not out.endswith("\n")
         assert len(out) < len('{"a": 1}\n')
+
+    def test_bitflip_covers_the_high_bit(self, tmp_path):
+        # the flip must span all 8 bits: a bit-7 flip produces invalid
+        # UTF-8 on disk, which load_results must drop, not crash on
+        line = (json.dumps(integrity.seal({"unit_id": "u/0"})) + "\n"
+                ).encode()
+        mangled = None
+        for seed in range(64):
+            chaos.configure({"bitflip": 1.0}, seed=seed)
+            out = chaos.mangle_bytes(line, "results", "u/0")
+            try:
+                out.decode("utf-8")
+            except UnicodeDecodeError:
+                mangled = out
+                break
+        assert mangled is not None, "no seed in 0..63 flipped bit 7"
+        p = tmp_path / "r.jsonl"
+        p.write_bytes(mangled)
+        chaos.deactivate()
+        report = integrity.scan_jsonl(p)
+        assert not report.records
+        assert report.issues[0].kind in ("corrupt", "garbage")
 
     def test_hooks_are_noops_when_inactive(self, tmp_path):
         line = '{"a": 1}\n'
