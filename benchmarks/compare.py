@@ -1,0 +1,74 @@
+"""Compare two pytest-benchmark JSON exports and fail on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+For every benchmark present in both files the per-round minimum is
+compared (the minimum is the least noisy location statistic on a shared
+machine); a benchmark whose current minimum exceeds the baseline by more
+than ``--threshold`` (default 20%) is a regression and the script exits
+non-zero. Benchmarks present in only one file are reported but never
+fail the run, so adding or retiring benchmarks does not break
+``make bench-compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict[str, dict]:
+    data = json.loads(Path(path).read_text())
+    return {b["name"]: b["stats"] for b in data.get("benchmarks", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    parser.add_argument("--stat", default="min",
+                        choices=("min", "mean", "median"),
+                        help="location statistic to compare (default min)")
+    args = parser.parse_args(argv)
+
+    base, cur = load(args.baseline), load(args.current)
+    shared = sorted(base.keys() & cur.keys())
+    only_base = sorted(base.keys() - cur.keys())
+    only_cur = sorted(cur.keys() - base.keys())
+
+    regressions = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name in shared:
+        b, c = base[name][args.stat], cur[name][args.stat]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {b:>10.4f}  {c:>10.4f}  "
+              f"{ratio:>5.2f}x{flag}")
+
+    for name in only_base:
+        print(f"{name}: only in baseline (retired?)")
+    for name in only_cur:
+        print(f"{name}: only in current (new benchmark, no baseline)")
+
+    if regressions:
+        worst = max(r for _, r in regressions)
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} (worst {worst:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} "
+          f"across {len(shared)} shared benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

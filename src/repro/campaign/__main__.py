@@ -89,6 +89,8 @@ def _config_overrides(args) -> dict:
         over["max_stimuli"] = args.max_stimuli
     if getattr(args, "collapse", None):
         over["collapse"] = args.collapse
+    if getattr(args, "no_accel", False):
+        over["accel"] = False
     return over
 
 
@@ -409,6 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interrupt-after", type=int, default=None,
                      metavar="N", help="stop after N units (simulated "
                      "interruption; finish later with `resume`)")
+    run.add_argument("--no-accel", action="store_true",
+                     help="disable checkpointed differential replay (epr) "
+                          "and dynamic fault dropping (gate); outcomes are "
+                          "bit-identical either way (see docs/PERFORMANCE.md)")
     _add_exec_args(run)
     # epr knobs
     run.add_argument("--apps", help="comma-separated app names (epr)")

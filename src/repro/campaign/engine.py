@@ -149,6 +149,16 @@ class UnitResult:
         return 0
 
     @property
+    def accel(self) -> dict | None:
+        """Per-unit acceleration accounting (restores, saved instructions,
+        dropped pairs, ...) reported by the runner, or None."""
+        if self.ok and isinstance(self.value, dict):
+            a = self.value.get("accel")
+            if isinstance(a, dict):
+                return a
+        return None
+
+    @property
     def hard_failure(self) -> bool:
         """True when the worker was lost (timeout / pool crash), not
         merely wrong — the signature of a poison unit."""

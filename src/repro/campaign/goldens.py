@@ -223,3 +223,408 @@ class GoldenCache:
 
 #: the process singleton; forked workers inherit warmed entries
 GOLDEN_CACHE = GoldenCache()
+
+
+# =====================================================================
+# golden execution traces + checkpoints (campaign acceleration layer)
+# =====================================================================
+#
+# The accelerated EPR path (docs/PERFORMANCE.md) needs more than the
+# golden output bits: it needs the golden *trajectory* — one record per
+# dynamic instruction (pc, warp coordinates, execution mask) so a
+# descriptor's activation sites can be computed without simulating, plus
+# restorable checkpoints so the fault-free prefix is never re-executed.
+# Traces are content-addressed by the same identity tuple as golden runs
+# and digest-bound to the golden bits they were captured against.
+
+def trace_key(app: str, scale: str, seed: int,
+              mem_words: int = DEFAULT_MEM_WORDS) -> str:
+    """Content address of one golden trace's identity tuple."""
+    ident = f"trace|{app}|{scale}|{int(seed)}|{int(mem_words)}"
+    return hashlib.sha256(ident.encode()).hexdigest()
+
+
+def checkpoint_epoch(dynamic_instructions: int) -> int:
+    """Checkpoint spacing K for a run of the given length: ~16 epochs,
+    clamped so tiny runs are not drowned in snapshots and huge runs do
+    not snapshot too rarely."""
+    return max(64, min(8192, dynamic_instructions // 16 or 64))
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """Shape + cost of one golden kernel launch (for launch skipping)."""
+
+    program: str
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+    num_ctas: int
+    warps_per_cta: int
+    instructions_executed: int
+    #: global dynamic-instruction index of this launch's first instruction
+    start_index: int
+
+
+@dataclass(frozen=True)
+class GoldenTrace:
+    """Golden trajectory of one (workload, scale, seed, mem_words).
+
+    Event arrays are parallel, one entry per dynamic instruction in
+    execution order across all launches: ``ev_pc`` the static pc,
+    ``ev_coord`` an index into ``coords`` (the warp's
+    ``(sm, subpartition, warp_slot)``), ``ev_mask`` the execution mask
+    packed into a uint32 (bit *i* = lane *i* executed).  Together with a
+    descriptor's coordinate/instruction/thread predicates these determine
+    every activation site in closed form (see
+    :func:`repro.swinjector.accel.activation_sites`).
+    """
+
+    key: str
+    ev_pc: np.ndarray              # int32 (N,)
+    ev_coord: np.ndarray           # int32 (N,)
+    ev_mask: np.ndarray            # uint32 (N,)
+    coords: tuple[tuple[int, int, int], ...]
+    launches: tuple[LaunchRecord, ...]
+    checkpoints: tuple              # of repro.gpusim.snapshot.Checkpoint
+    post_launch: tuple              # of DeviceSnapshot, one per launch
+    total_instructions: int
+    epoch: int
+    #: SHA-256 of the golden output bits this trace reproduces
+    digest: str
+
+    def launch_of(self, index: int) -> int:
+        """Launch ordinal containing global dynamic instruction *index*."""
+        starts = [rec.start_index for rec in self.launches]
+        return int(np.searchsorted(starts, index, side="right")) - 1
+
+    def best_checkpoint(self, index: int):
+        """Latest checkpoint inside *index*'s launch with
+        ``ck.index <= index`` (resume point), or ``None`` — then the
+        launch replays from its start."""
+        launch = self.launch_of(index)
+        best = None
+        for ck in self.checkpoints:
+            if ck.launch == launch and ck.index <= index:
+                if best is None or ck.index > best.index:
+                    best = ck
+        return best
+
+
+def _trace_compute(app: str, scale: str, seed: int,
+                   mem_words: int) -> GoldenTrace:
+    """Instrumented golden run: record every dynamic instruction, take a
+    checkpoint at every K-th round boundary, snapshot the device after
+    each launch, and verify the output bits against the golden cache."""
+    from repro.gpusim.snapshot import capture_checkpoint, snapshot_device
+
+    golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
+    every = checkpoint_epoch(golden.dynamic_instructions)
+    w = cached_workload(app, scale, seed)
+    dev = Device(DeviceConfig(global_mem_words=mem_words))
+
+    ev_pc: list[int] = []
+    ev_coord: list[int] = []
+    masks: list[np.ndarray] = []
+    coord_index: dict[tuple[int, int, int], int] = {}
+    launches: list[LaunchRecord] = []
+    checkpoints: list = []
+    post_launch: list = []
+    state = {"launch": 0, "base": 0, "last_ck": 0}
+
+    def trace_fn(ev):
+        ci = coord_index.setdefault(
+            (ev.sm_id, ev.subpartition, ev.warp_slot), len(coord_index))
+        ev_pc.append(ev.pc)
+        ev_coord.append(ci)
+        masks.append(ev.exec_mask)
+
+    def round_hook(cta, executed, warps, shared_mem):
+        if executed == 0:
+            return
+        idx = state["base"] + executed
+        if idx - state["last_ck"] < every:
+            return
+        state["last_ck"] = idx
+        checkpoints.append(capture_checkpoint(
+            dev, state["launch"], cta, executed, idx, warps, shared_mem))
+
+    def launcher(program, grid, block, params=(), shared_words=None):
+        res = dev.launch(program, grid, block, params=params,
+                         shared_words=shared_words, trace_fn=trace_fn,
+                         round_hook=round_hook)
+        launches.append(LaunchRecord(
+            program=res.program, grid=res.grid, block=res.block,
+            num_ctas=res.num_ctas, warps_per_cta=res.warps_per_cta,
+            instructions_executed=res.instructions_executed,
+            start_index=state["base"]))
+        post_launch.append(snapshot_device(dev))
+        state["base"] += res.instructions_executed
+        state["launch"] += 1
+        return res
+
+    bits = w.run(dev, launcher)
+    digest = hashlib.sha256(np.ascontiguousarray(bits).tobytes()).hexdigest()
+    if digest != golden.digest or state["base"] != golden.dynamic_instructions:
+        raise RuntimeError(
+            f"golden trace of {app}/{scale} diverged from the cached golden "
+            f"run (nondeterministic workload?)")
+
+    if masks:
+        packed = np.packbits(np.asarray(masks, dtype=bool), axis=1,
+                             bitorder="little")
+        ev_mask = np.ascontiguousarray(packed).view(np.uint32).ravel()
+    else:
+        ev_mask = np.zeros(0, dtype=np.uint32)
+    coords = tuple(sorted(coord_index, key=coord_index.get))
+    return GoldenTrace(
+        key=trace_key(app, scale, seed, mem_words),
+        ev_pc=np.asarray(ev_pc, dtype=np.int32),
+        ev_coord=np.asarray(ev_coord, dtype=np.int32),
+        ev_mask=ev_mask,
+        coords=coords,
+        launches=tuple(launches),
+        checkpoints=tuple(checkpoints),
+        post_launch=tuple(post_launch),
+        total_instructions=state["base"],
+        epoch=every,
+        digest=golden.digest,
+    )
+
+
+# -- trace (de)serialization for the .npz spill -----------------------
+
+def _snap_meta(snap) -> dict:
+    return {"mem_words": snap.mem_words, "global_brk": snap.global_brk,
+            "slot_counters": [list(t) for t in snap.slot_counters]}
+
+
+def _snap_from(meta: dict, global_data, constant_data):
+    from repro.gpusim.snapshot import DeviceSnapshot
+
+    return DeviceSnapshot(
+        mem_words=int(meta["mem_words"]),
+        global_data=np.asarray(global_data, dtype=np.uint32),
+        global_brk=int(meta["global_brk"]),
+        constant_data=np.asarray(constant_data, dtype=np.uint32),
+        slot_counters=tuple(tuple(int(x) for x in t)
+                            for t in meta["slot_counters"]))
+
+
+def _trace_to_arrays(trace: GoldenTrace) -> tuple[dict, dict]:
+    """Flatten a trace into (named arrays, JSON-able meta)."""
+    arrays = {"ev_pc": trace.ev_pc, "ev_coord": trace.ev_coord,
+              "ev_mask": trace.ev_mask,
+              "coords": np.asarray(trace.coords or
+                                   np.zeros((0, 3)), dtype=np.int32)}
+    meta = {
+        "key": trace.key, "digest": trace.digest,
+        "total_instructions": trace.total_instructions,
+        "epoch": trace.epoch,
+        "launches": [{
+            "program": r.program, "grid": list(r.grid),
+            "block": list(r.block), "num_ctas": r.num_ctas,
+            "warps_per_cta": r.warps_per_cta,
+            "instructions_executed": r.instructions_executed,
+            "start_index": r.start_index} for r in trace.launches],
+        "post_launch": [_snap_meta(s) for s in trace.post_launch],
+        "checkpoints": [],
+    }
+    for i, snap in enumerate(trace.post_launch):
+        arrays[f"pl{i}_g"] = snap.global_data
+        arrays[f"pl{i}_c"] = snap.constant_data
+    for j, ck in enumerate(trace.checkpoints):
+        meta["checkpoints"].append({
+            "index": ck.index, "launch": ck.launch, "cta": ck.cta,
+            "executed": ck.executed, "device": _snap_meta(ck.device),
+            "warps": [{
+                "cta": w.cta, "warp_in_cta": w.warp_in_cta,
+                "sm_id": w.sm_id, "subpartition": w.subpartition,
+                "warp_slot": w.warp_slot, "at_barrier": bool(w.at_barrier),
+                "instructions_executed": w.instructions_executed}
+                for w in ck.warps],
+        })
+        arrays[f"ck{j}_g"] = ck.device.global_data
+        arrays[f"ck{j}_c"] = ck.device.constant_data
+        arrays[f"ck{j}_sh"] = ck.shared
+        for k, w in enumerate(ck.warps):
+            arrays[f"ck{j}_w{k}_alive"] = w.alive
+            arrays[f"ck{j}_w{k}_regs"] = w.regs
+            arrays[f"ck{j}_w{k}_preds"] = w.preds
+            arrays[f"ck{j}_w{k}_reconv"] = w.stack_reconv
+            arrays[f"ck{j}_w{k}_next"] = w.stack_next
+            arrays[f"ck{j}_w{k}_masks"] = w.stack_masks
+    return arrays, meta
+
+
+def _trace_from_arrays(arrays: dict, meta: dict) -> GoldenTrace:
+    from repro.gpusim.snapshot import Checkpoint, WarpSnapshot
+
+    launches = tuple(LaunchRecord(
+        program=r["program"], grid=tuple(r["grid"]), block=tuple(r["block"]),
+        num_ctas=int(r["num_ctas"]), warps_per_cta=int(r["warps_per_cta"]),
+        instructions_executed=int(r["instructions_executed"]),
+        start_index=int(r["start_index"])) for r in meta["launches"])
+    post_launch = tuple(
+        _snap_from(m, arrays[f"pl{i}_g"], arrays[f"pl{i}_c"])
+        for i, m in enumerate(meta["post_launch"]))
+    checkpoints = []
+    for j, cm in enumerate(meta["checkpoints"]):
+        warps = tuple(WarpSnapshot(
+            cta=int(wm["cta"]), warp_in_cta=int(wm["warp_in_cta"]),
+            sm_id=int(wm["sm_id"]), subpartition=int(wm["subpartition"]),
+            warp_slot=int(wm["warp_slot"]),
+            alive=np.asarray(arrays[f"ck{j}_w{k}_alive"], dtype=bool),
+            regs=np.asarray(arrays[f"ck{j}_w{k}_regs"], dtype=np.uint32),
+            preds=np.asarray(arrays[f"ck{j}_w{k}_preds"], dtype=bool),
+            at_barrier=bool(wm["at_barrier"]),
+            instructions_executed=int(wm["instructions_executed"]),
+            stack_reconv=np.asarray(arrays[f"ck{j}_w{k}_reconv"],
+                                    dtype=np.int64),
+            stack_next=np.asarray(arrays[f"ck{j}_w{k}_next"],
+                                  dtype=np.int64),
+            stack_masks=np.asarray(arrays[f"ck{j}_w{k}_masks"], dtype=bool),
+        ) for k, wm in enumerate(cm["warps"]))
+        checkpoints.append(Checkpoint(
+            index=int(cm["index"]), launch=int(cm["launch"]),
+            cta=int(cm["cta"]), executed=int(cm["executed"]),
+            device=_snap_from(cm["device"], arrays[f"ck{j}_g"],
+                              arrays[f"ck{j}_c"]),
+            warps=warps,
+            shared=np.asarray(arrays[f"ck{j}_sh"], dtype=np.uint64
+                              if arrays[f"ck{j}_sh"].dtype == np.uint64
+                              else np.uint32)))
+    return GoldenTrace(
+        key=meta["key"],
+        ev_pc=np.asarray(arrays["ev_pc"], dtype=np.int32),
+        ev_coord=np.asarray(arrays["ev_coord"], dtype=np.int32),
+        ev_mask=np.asarray(arrays["ev_mask"], dtype=np.uint32),
+        coords=tuple(tuple(int(x) for x in row) for row in arrays["coords"]),
+        launches=launches, checkpoints=tuple(checkpoints),
+        post_launch=post_launch,
+        total_instructions=int(meta["total_instructions"]),
+        epoch=int(meta["epoch"]), digest=meta["digest"])
+
+
+def _trace_digest(arrays: dict, meta: dict) -> str:
+    """Integrity digest over every array + the meta (digest field
+    excluded), in deterministic key order."""
+    h = hashlib.sha256()
+    meta_wire = {k: v for k, v in meta.items() if k != "trace_digest"}
+    h.update(json.dumps(meta_wire, sort_keys=True).encode())
+    for k in sorted(arrays):
+        h.update(k.encode())
+        h.update(np.ascontiguousarray(arrays[k]).tobytes())
+    return h.hexdigest()
+
+
+class CheckpointCache:
+    """Process-local golden-trace cache, mirroring :class:`GoldenCache`
+    (hit/miss accounting + digest-verified atomic ``.npz`` spill)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, GoldenTrace] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_dir: Path | None = None
+        self.disk_hits = 0
+        self.disk_rejects = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def persist_to(self, directory: str | Path | None) -> None:
+        if directory is None:
+            self.disk_dir = None
+            return
+        self.disk_dir = Path(directory)
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def get(self, app: str, scale: str, seed: int,
+            mem_words: int = DEFAULT_MEM_WORDS) -> GoldenTrace:
+        key = trace_key(app, scale, seed, mem_words)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            _CACHE_LOOKUPS.inc(cache="checkpoint", result="hit")
+            return entry
+        entry = self._disk_load(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            _CACHE_LOOKUPS.inc(cache="checkpoint", result="disk_hit")
+            self._entries[key] = entry
+            return entry
+        self.misses += 1
+        _CACHE_LOOKUPS.inc(cache="checkpoint", result="miss")
+        with obs.span("golden.trace", app=app, scale=scale):
+            entry = _trace_compute(app, scale, seed, mem_words)
+        self._entries[key] = entry
+        self._disk_store(entry)
+        return entry
+
+    # -- disk spill ----------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.trace.npz"
+
+    def _disk_load(self, key: str) -> GoldenTrace | None:
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                arrays = {k: np.array(z[k]) for k in z.files if k != "meta"}
+                meta = json.loads(str(z["meta"][()]))
+            expect = meta.get("trace_digest")
+            if meta.get("key") != key or expect != _trace_digest(arrays, meta):
+                raise ValueError("trace entry digest mismatch")
+            return _trace_from_arrays(arrays, meta)
+        except Exception as exc:
+            self.disk_rejects += 1
+            log.warning(f"checkpoint cache entry {path.name} is corrupt "
+                        f"({exc}); recomputing")
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, entry: GoldenTrace) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(entry.key)
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        arrays, meta = _trace_to_arrays(entry)
+        meta["trace_digest"] = _trace_digest(arrays, meta)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, meta=np.array(json.dumps(meta)), **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            log.warning(f"could not persist checkpoint cache entry "
+                        f"{path.name}: {exc}")
+            tmp.unlink(missing_ok=True)
+
+    def warm(self, specs) -> int:
+        before = self.misses
+        for app, scale, seed, mem_words in specs:
+            self.get(app, scale, seed, mem_words)
+        return self.misses - before
+
+    def stats(self) -> tuple[int, int]:
+        return self.hits, self.misses
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_rejects = 0
+        self.disk_dir = None
+
+
+#: the process singleton; forked workers inherit warmed traces
+CHECKPOINT_CACHE = CheckpointCache()

@@ -32,10 +32,22 @@ class ShardStats:
     failures: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: acceleration accounting merged across units (EPR: restores,
+    #: saved_instructions, early_exits, skipped, collapsed; gate:
+    #: pairs_dropped, stimuli_deduped, lanes_refilled, replays)
+    accel: dict = field(default_factory=dict)
 
     @property
     def items_per_sec(self) -> float:
         return self.items / self.elapsed if self.elapsed > 0 else 0.0
+
+    def merge_accel(self, stats: dict | None) -> None:
+        if not stats:
+            return
+        for k, v in stats.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                continue
+            self.accel[k] = self.accel.get(k, 0) + v
 
     def add(self, result: UnitResult) -> None:
         self.units += 1
@@ -46,6 +58,7 @@ class ShardStats:
         self.failures += 0 if result.ok else 1
         self.cache_hits += result.cache_hits
         self.cache_misses += result.cache_misses
+        self.merge_accel(result.accel)
 
 
 class Telemetry:
@@ -109,6 +122,7 @@ class Telemetry:
             t.failures += s.failures
             t.cache_hits += s.cache_hits
             t.cache_misses += s.cache_misses
+            t.merge_accel(s.accel)
         return t
 
     def cache_hit_rate(self) -> float:
@@ -127,6 +141,9 @@ class Telemetry:
     def progress_line(self) -> str:
         t = self.totals
         pruned = f", {t.pruned} pruned" if t.pruned else ""
+        saved = t.accel.get("saved_instructions", 0)
+        if saved:
+            pruned += f", {saved} instr saved"
         quarantined = (f", {self.quarantined} quarantined"
                        if self.quarantined else "")
         return (f"[campaign] {t.units} units, {t.items} items{pruned}, "
@@ -147,6 +164,7 @@ class Telemetry:
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
             "degraded": self.degraded,
             "quarantined": self.quarantined,
+            "accel": dict(t.accel),
             "watchdog": {"sigterm": self.watchdog_sigterms,
                          "sigkill": self.watchdog_sigkills},
             "shards": {
@@ -160,6 +178,7 @@ class Telemetry:
                     "failures": s.failures,
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
+                    "accel": dict(s.accel),
                 }
                 for shard, s in sorted(self.shards.items())
             },

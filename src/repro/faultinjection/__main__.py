@@ -34,6 +34,10 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["tiny", "small", "paper"])
     parser.add_argument("--processes", type=int, default=1)
     parser.add_argument("--save", type=str, default=None)
+    parser.add_argument("--no-accel", action="store_true",
+                        help="disable dynamic fault dropping and stimuli "
+                             "dedup; every fault lane replays every stimulus "
+                             "densely (records are bit-identical either way)")
     args = parser.parse_args(argv)
 
     names = PROFILING_NAMES[:6] if args.scale == "tiny" else PROFILING_NAMES
@@ -47,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         max_faults=args.max_faults or None,
         max_stimuli=args.max_stimuli,
         processes=args.processes,
+        accel=not args.no_accel,
     )
     res = run_gate_campaign(cfg, prof.stimuli)
 

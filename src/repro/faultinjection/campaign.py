@@ -45,6 +45,10 @@ from repro.gatelevel.units.base import Stimulus, UnitModel
 
 #: one increment per simulated fault, labeled ``{unit, category}``
 _FAULTS_TOTAL = obs.REGISTRY.counter("faults_total")
+#: lanes handed to a fault from the pending queue after dynamic retirement
+_LANES_REFILLED = obs.REGISTRY.counter("lanes_refilled_total")
+#: (fault, stimulus) replays proven no-ops from the golden toggle info
+_PAIRS_DROPPED = obs.REGISTRY.counter("fault_stimulus_pairs_dropped_total")
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,9 @@ class CampaignConfig:
     #: (BUF/NOT chains + controlling values) and drops untestable ones
     #: outside every output cone (see repro.gatelevel.faults)
     collapse: str = "none"
+    #: dynamic fault dropping + stimuli dedup (bit-identical records; the
+    #: ``--no-accel`` CLI flag restores the dense cold-replay path)
+    accel: bool = True
 
 
 @dataclass
@@ -216,23 +223,35 @@ def _golden_run_inner(unit: UnitModel, stimuli: list[Stimulus]):
 # ---------------------------------------------------------------------
 
 def _run_batch(unit: UnitModel, batch_faults: list[StuckAtFault],
-               stimuli: list[Stimulus], golden, words: int) -> list[FaultRecord]:
-    sim = LogicSim(unit.netlist, num_words=words)
-    batch = FaultBatch(batch_faults, num_words=words)
+               stimuli: list[Stimulus], golden, words: int,
+               accel: bool = True,
+               stats: dict | None = None) -> list[FaultRecord]:
     n = len(batch_faults)
     records = [FaultRecord(f) for f in batch_faults]
 
-    # activation from golden toggle info
-    for gi in golden:
-        for i, f in enumerate(batch_faults):
-            if f.stuck_at == 0 and gi["ever1"][f.net]:
-                records[i].activated = True
-            elif f.stuck_at == 1 and gi["ever0"][f.net]:
-                records[i].activated = True
+    # activation from golden toggle info, vectorized over the batch: a
+    # stuck-at-v fault activates iff its net ever carries ~v in some
+    # golden stimulus (same result as the per-fault scan, done once)
+    nets = np.fromiter((f.net for f in batch_faults), dtype=np.int64, count=n)
+    sa = np.fromiter((f.stuck_at for f in batch_faults), dtype=np.int64,
+                     count=n)
+    if golden and n:
+        any1 = np.zeros(unit.netlist.num_nets, dtype=bool)
+        any0 = np.zeros(unit.netlist.num_nets, dtype=bool)
+        for gi in golden:
+            any1 |= gi["ever1"]
+            any0 |= gi["ever0"]
+        for i in np.flatnonzero(np.where(sa == 0, any1[nets], any0[nets])):
+            records[int(i)].activated = True
 
     out_names = list(unit.netlist.outputs)
     replay = obs.span("gate.replay", faults=n, stimuli=len(stimuli))
     with replay:
+        if accel:
+            return _replay_batch_accel(unit, batch_faults, nets, sa, records,
+                                       stimuli, golden, out_names, stats)
+        sim = LogicSim(unit.netlist, num_words=words)
+        batch = FaultBatch(batch_faults, num_words=words)
         return _replay_batch(unit, sim, batch, records, stimuli, golden,
                              out_names, n)
 
@@ -286,6 +305,105 @@ def _replay_batch(unit, sim, batch, records, stimuli, golden, out_names, n):
     return records
 
 
+def _replay_batch_accel(unit, batch_faults, nets, sa, records, stimuli,
+                        golden, out_names, stats=None):
+    """Sparse faulty replay: dynamic fault dropping + stimuli dedup.
+
+    Per distinct stimulus, only the faults whose golden toggle info says
+    they can activate keep a lane; every other fault's lane is retired and
+    refilled from the pending queue, shrinking the word count of the whole
+    pass.  A dropped ``(fault, stimulus)`` pair is exactly a no-op: the
+    forced value equals the net's golden value on every cycle, so that
+    lane would replay the golden trajectory — no output diff, no hang, no
+    model.  Duplicate stimuli (frozen dataclass equality) replay once and
+    their per-stimulus model counts are applied with multiplicity.  The
+    resulting records are bit-identical to the dense ``_replay_batch``.
+    """
+    n = len(batch_faults)
+    if stats is None:
+        stats = {}
+    stats.setdefault("enabled", True)
+    for key in ("pairs_dropped", "stimuli_deduped", "lanes_refilled",
+                "replays"):
+        stats.setdefault(key, 0)
+
+    # stimuli dedup with multiplicity counts
+    reps: list[tuple[int, int]] = []           # (stimulus index, multiplicity)
+    seen: dict[Stimulus, int] = {}
+    for si, stim in enumerate(stimuli):
+        at = seen.get(stim)
+        if at is None:
+            seen[stim] = len(reps)
+            reps.append((si, 1))
+        else:
+            reps[at] = (reps[at][0], reps[at][1] + 1)
+            stats["stimuli_deduped"] += 1
+
+    sims: dict[int, LogicSim] = {}
+    for si, mult in reps:
+        stim, gi = stimuli[si], golden[si]
+        active = np.flatnonzero(
+            np.where(sa == 0, gi["ever1"][nets], gi["ever0"][nets]))
+        dropped = n - int(active.size)
+        stats["pairs_dropped"] += dropped * mult
+        _PAIRS_DROPPED.inc(dropped * mult)
+        if active.size == 0:
+            continue
+        m = int(active.size)
+        # dense repack: retired lanes are refilled by pending faults, so
+        # the pass needs only ceil(m/64) words instead of the full batch
+        refilled = int(np.count_nonzero(active != np.arange(m)))
+        stats["lanes_refilled"] += refilled
+        stats["replays"] += 1
+        if refilled:
+            _LANES_REFILLED.inc(refilled)
+        w = (m + 63) // 64
+        sim = sims.get(w)
+        if sim is None:
+            sims[w] = sim = LogicSim(unit.netlist, num_words=w)
+        sim.reset()
+        sim.set_faults(FaultBatch([batch_faults[int(i)] for i in active],
+                                  num_words=w))
+        live_seen = np.zeros(m, dtype=bool)
+        diffs_this_stim: dict[int, set[ErrorModel]] = {}
+        for cyc, inp in enumerate(unit.transaction(stim)):
+            outs = sim.cycle(inp)
+            gvals = gi["cycles"][cyc]
+            for name in out_names:
+                arr = outs[name]
+                gval = gvals[name]
+                gold_arr = sim.broadcast(gval, arr.shape[0])
+                diff = arr ^ gold_arr
+                dwords = np.bitwise_or.reduce(diff, axis=0)
+                if not dwords.any():
+                    continue
+                lanes = np.nonzero(sim.unpack_lanes(
+                    dwords[None, :], m).ravel())[0]
+                if lanes.size == 0:
+                    continue
+                fvals = sim.lane_values(arr, m)
+                sem = unit.output_semantics[name]
+                for lane in lanes:
+                    fi = int(active[lane])
+                    models = classify_output_diff(
+                        sem, stim, gval, int(fvals[lane]))
+                    if models:
+                        diffs_this_stim.setdefault(fi, set()).update(models)
+                    records[fi].propagated = True
+            for name in unit.liveness_outputs:
+                vals = sim.lane_values(outs[name], m)
+                live_seen |= vals != 0
+        # hang: golden asserted liveness but this lane never did; dropped
+        # lanes replay the golden trajectory, so they assert iff golden did
+        if any(gi["live"].values()):
+            for lane in np.flatnonzero(~live_seen):
+                records[int(active[lane])].hang = True
+        for fi, models in diffs_this_stim.items():
+            for mm in models:
+                records[fi].models[mm] += mult
+    return records
+
+
 # ---------------------------------------------------------------------
 # campaign-engine integration (kind: "gate")
 # ---------------------------------------------------------------------
@@ -306,16 +424,19 @@ def _run_gate_unit(payload: dict) -> dict:
     ctx = get_context()
     unit = _cached_unit(ctx["unit"])
     faults = [StuckAtFault(net, sa) for net, sa in payload["faults"]]
+    accel = bool(ctx.get("accel", True))
+    stats: dict = {"enabled": True} if accel else {"enabled": False}
     with obs.span("gate.unit", unit=ctx["unit"], batch=payload["batch"],
                   faults=len(faults)):
         records = _run_batch(unit, faults, ctx["stimuli"], ctx["golden"],
-                             ctx["words"])
+                             ctx["words"], accel=accel, stats=stats)
     for r in records:
         _FAULTS_TOTAL.inc(unit=ctx["unit"], category=r.category)
     return {
         "items": len(records),
         "batch": payload["batch"],
         "records": [record_to_json(r) for r in records],
+        "accel": stats,
     }
 
 
@@ -342,11 +463,12 @@ def _build_gate_plan(config: CampaignConfig, stimuli: list[Stimulus],
                      "faults": [(f.net, f.stuck_at)
                                 for f in faults[start:start + cap]]}))
     context = {"unit": config.unit, "stimuli": stimuli, "golden": golden,
-               "words": config.words}
+               "words": config.words, "accel": config.accel}
     cfg_dict = plan_config if plan_config is not None else {
         "unit": config.unit, "max_faults": config.max_faults,
         "max_stimuli": config.max_stimuli, "words": config.words,
         "seed": config.seed, "collapse": config.collapse,
+        "accel": config.accel,
     }
     return CampaignPlan(kind="gate", config=cfg_dict, units=tuple(units),
                         context=context)
@@ -435,6 +557,7 @@ class GateCampaignSpec:
             "scale": "tiny",
             "stimuli_per_workload": 16,
             "collapse": "none",
+            "accel": True,
         }
         cfg.update({k: v for k, v in overrides.items() if v is not None})
         return cfg
@@ -453,7 +576,8 @@ class GateCampaignSpec:
                             max_faults=config["max_faults"],
                             max_stimuli=config["max_stimuli"],
                             words=config["words"], seed=config["seed"],
-                            collapse=config.get("collapse", "none"))
+                            collapse=config.get("collapse", "none"),
+                            accel=bool(config.get("accel", True)))
         return _build_gate_plan(cc, prof.stimuli, plan_config=dict(config))
 
     def aggregate(self, config: dict,

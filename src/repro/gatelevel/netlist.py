@@ -114,32 +114,51 @@ class Netlist:
         return {GateType(int(v)): int(c) for v, c in zip(vals, counts)}
 
     def levelize(self) -> np.ndarray:
-        """Topological level per net (INPUT/CONST/DFF are level 0)."""
+        """Topological level per net (INPUT/CONST/DFF are level 0).
+
+        Vectorized wavefront: each pass assigns the next level to every
+        combinational gate whose fanins are already levelled, so the whole
+        netlist resolves in ``max_level`` array operations instead of one
+        Python iteration per net.  The forward-fanin check (construction
+        order is topological, so a fanin at or above its gate means a
+        cycle) reports the same first offender as the sequential scan:
+        lowest gate index, fanin0 before fanin1.
+        """
         if self.levels is not None:
             return self.levels
         n = self.num_nets
         level = np.zeros(n, dtype=np.int32)
         gt = self.gate_type
-        for i in range(n):
-            t = gt[i]
-            if t in (GateType.INPUT, GateType.CONST0, GateType.CONST1,
-                     GateType.DFF):
-                continue
-            l0 = level[self.fanin0[i]]
-            if self.fanin0[i] >= i:
+        comb = ~np.isin(gt, (GateType.INPUT, GateType.CONST0,
+                             GateType.CONST1, GateType.DFF))
+        ids = np.arange(n, dtype=np.int64)
+        bad0 = comb & (self.fanin0 >= ids)
+        bad1 = comb & (self.fanin1 >= 0) & (self.fanin1 >= ids)
+        bad = bad0 | bad1
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            if bad0[i]:
                 raise NetlistError(
                     f"{self.name}: combinational gate {i} has forward fanin "
                     f"{self.fanin0[i]} (cycle?)"
                 )
-            l1 = 0
-            if self.fanin1[i] >= 0:
-                if self.fanin1[i] >= i:
-                    raise NetlistError(
-                        f"{self.name}: combinational gate {i} has forward "
-                        f"fanin {self.fanin1[i]}"
-                    )
-                l1 = level[self.fanin1[i]]
-            level[i] = max(l0, l1) + 1
+            raise NetlistError(
+                f"{self.name}: combinational gate {i} has forward "
+                f"fanin {self.fanin1[i]}"
+            )
+        resolved = ~comb
+        pending = np.flatnonzero(comb)
+        while pending.size:
+            f0 = self.fanin0[pending]
+            f1 = self.fanin1[pending]
+            has1 = f1 >= 0
+            ready = resolved[f0] & (~has1 | resolved[np.where(has1, f1, 0)])
+            done = pending[ready]
+            l1 = np.where(has1[ready], level[np.where(has1[ready],
+                                                      f1[ready], 0)], 0)
+            level[done] = np.maximum(level[f0[ready]], l1) + 1
+            resolved[done] = True
+            pending = pending[~ready]
         self.levels = level
         return level
 

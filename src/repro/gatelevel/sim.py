@@ -130,9 +130,15 @@ class LogicSim:
     def broadcast(self, value: int, width: int) -> np.ndarray:
         """(width, W) input array with every lane carrying *value*."""
         out = np.zeros((width, self.num_words), dtype=np.uint64)
-        for i in range(width):
-            if (value >> i) & 1:
-                out[i, :] = ALL_ONES
+        set_bits = np.zeros(width, dtype=bool)
+        # value is an arbitrary-precision int: extract 64 bits at a time so
+        # the per-bit test is one vector op instead of a Python loop
+        for lo in range(0, width, 64):
+            w = min(64, width - lo)
+            chunk = np.uint64((value >> lo) & 0xFFFFFFFFFFFFFFFF)
+            shifts = np.arange(w, dtype=np.uint64)
+            set_bits[lo:lo + w] = ((chunk >> shifts) & np.uint64(1)) != 0
+        out[set_bits] = ALL_ONES
         return out
 
     def pack_patterns(self, values, width: int) -> np.ndarray:
@@ -142,13 +148,17 @@ class LogicSim:
         if n > 64 * self.num_words:
             raise ConfigError("too many patterns for lane capacity")
         out = np.zeros((width, self.num_words), dtype=np.uint64)
-        lanes = np.arange(n)
-        words, bits = lanes // 64, lanes % 64
-        for i in range(width):
-            bitvals = ((values >> np.uint64(i)) & np.uint64(1)) << bits.astype(
-                np.uint64
-            )
-            np.bitwise_or.at(out[i], words, bitvals)
+        if n == 0 or width == 0:
+            return out
+        bits = (np.arange(n) % 64).astype(np.uint64)
+        shifts = np.arange(width, dtype=np.uint64)[:, None]
+        # (width, n): bit i of pattern j, shifted to lane j's bit position
+        bitmat = ((values[None, :] >> shifts) & np.uint64(1)) << bits[None, :]
+        # lanes are laid out word-major, so OR-reduce contiguous 64-lane
+        # runs into their word column in one reduceat
+        used = (n + 63) // 64
+        starts = np.arange(0, n, 64)
+        out[:, :used] = np.bitwise_or.reduceat(bitmat, starts, axis=1)
         return out
 
     def unpack_lanes(self, arr: np.ndarray, n_lanes: int) -> np.ndarray:

@@ -122,11 +122,26 @@ class Device:
         instrumentation: Instrumentation | None = None,
         trace_fn: Callable[[TraceEvent], None] | None = None,
         trace_values: bool = False,
+        round_hook: Callable | None = None,
+        resume=None,
     ) -> LaunchResult:
         """Run *program* over the given grid; returns launch statistics.
 
         Raises a :class:`~repro.common.exceptions.DeviceError` subclass when
         the kernel faults — campaigns map that to a DUE.
+
+        *round_hook* is called as ``hook(cta, executed, warps, shared_mem)``
+        at the top of every CTA scheduling round (``executed`` is the
+        launch-cumulative instruction count) — the golden tracer captures
+        checkpoints there and the accelerated injector compares state
+        against them (see :mod:`repro.gpusim.snapshot`).
+
+        *resume* (a :class:`~repro.gpusim.snapshot.LaunchResume`) skips the
+        already-executed prefix: device state is restored from the
+        snapshot, CTAs before ``resume.cta`` are not re-run, the resumed
+        CTA's warps are rebuilt mid-flight, and the instruction counter
+        starts at ``resume.executed`` so watchdog accounting is identical
+        to a cold replay.
         """
         grid3 = _dim3(grid)
         block3 = _dim3(block)
@@ -142,13 +157,16 @@ class Device:
             )
 
         self.set_params(params)
+        if resume is not None:
+            resume.apply_device(self)
         budget = watchdog if watchdog is not None else self.config.default_watchdog
 
         with obs.span("gpusim.launch", program=program.name,
                       ctas=num_ctas, warps_per_cta=warps_per_cta):
             executed = self._launch_grid(
                 program, grid3, block3, num_ctas, warps_per_cta, shared,
-                budget, instrumentation, trace_fn, trace_values)
+                budget, instrumentation, trace_fn, trace_values,
+                round_hook, resume)
 
         return LaunchResult(
             program=program.name,
@@ -171,9 +189,15 @@ class Device:
         instrumentation: Instrumentation | None,
         trace_fn: Callable[[TraceEvent], None] | None,
         trace_values: bool,
+        round_hook: Callable | None = None,
+        resume=None,
     ) -> int:
         executed = 0
-        for cta in range(num_ctas):
+        start_cta = 0
+        if resume is not None:
+            start_cta = resume.cta
+            executed = resume.executed
+        for cta in range(start_cta, num_ctas):
             cx = cta % grid3[0]
             cy = (cta // grid3[0]) % grid3[1]
             cz = cta // (grid3[0] * grid3[1])
@@ -186,22 +210,31 @@ class Device:
                 trace_fn=trace_fn, trace_values=trace_values,
             )
 
-            warps = []
-            for w in range(warps_per_cta):
-                subpart = w % self.config.subpartitions_per_sm
-                key = (sm_id, subpart)
-                slot = self._slot_counters.get(key, 0)
-                self._slot_counters[key] = (
-                    (slot + 1) % self.config.max_warps_per_subpartition
-                )
-                warps.append(
-                    WarpState(
-                        program, cta, w, block3, grid3, (cx, cy, cz),
-                        sm_id, subpart, slot,
+            if resume is not None and cta == start_cta:
+                # mid-CTA resume: warps come from the snapshot (the slot
+                # counters were restored with the device state, so CTAs
+                # after this one claim the same slots a cold run would)
+                shared_mem.data[:resume.shared.size] = resume.shared
+                warps = resume.make_warps(program, block3, grid3,
+                                          (cx, cy, cz))
+            else:
+                warps = []
+                for w in range(warps_per_cta):
+                    subpart = w % self.config.subpartitions_per_sm
+                    key = (sm_id, subpart)
+                    slot = self._slot_counters.get(key, 0)
+                    self._slot_counters[key] = (
+                        (slot + 1) % self.config.max_warps_per_subpartition
                     )
-                )
+                    warps.append(
+                        WarpState(
+                            program, cta, w, block3, grid3, (cx, cy, cz),
+                            sm_id, subpart, slot,
+                        )
+                    )
 
-            executed += self._run_cta(warps, executor, budget - executed, program)
+            executed = self._run_cta(warps, executor, budget, executed,
+                                     program, cta, shared_mem, round_hook)
             if executed > budget:  # pragma: no cover - guarded in _run_cta
                 raise WatchdogTimeoutError(program.name)
 
@@ -213,11 +246,22 @@ class Device:
         warps: list[WarpState],
         executor: WarpExecutor,
         budget: int,
+        executed: int,
         program: Program,
+        cta: int,
+        shared_mem: SharedMemory,
+        round_hook: Callable | None = None,
     ) -> int:
-        """Round-robin the CTA's warps until all finish; handle barriers."""
-        executed = 0
+        """Round-robin the CTA's warps until all finish; handle barriers.
+
+        *executed* is the launch-cumulative instruction count on entry;
+        the return value is the updated count. The watchdog message
+        reports the budget remaining at CTA entry (as it always has).
+        """
+        base = executed
         while True:
+            if round_hook is not None:
+                round_hook(cta, executed, warps, shared_mem)
             progress = 0
             unfinished = [w for w in warps if not w.finished]
             if not unfinished:
@@ -230,7 +274,8 @@ class Device:
                 executed += done
                 if executed > budget:
                     raise WatchdogTimeoutError(
-                        f"{program.name}: exceeded {budget} instructions"
+                        f"{program.name}: exceeded {budget - base} "
+                        f"instructions"
                     )
             # barrier release: every unfinished warp has arrived
             unfinished = [w for w in warps if not w.finished]

@@ -240,7 +240,19 @@ class WarpExecutor:
 
         Stops early at a barrier or warp completion. Returns the number of
         instructions executed.
+
+        Instrumentation may expose ``slice_gate(warp)`` to skip hook sites
+        it can prove are no-ops (``False`` = never hook this warp, a pc
+        collection = hook only those pcs, ``True`` = hook everything).
+        Skipping a site is observationally identical to running a hook
+        whose victim set is empty, so gated and ungated runs produce
+        bit-identical results (docs/PERFORMANCE.md).
         """
+        gate = True
+        if self.instrumentation is not None:
+            gate_fn = getattr(self.instrumentation, "slice_gate", None)
+            if gate_fn is not None:
+                gate = gate_fn(warp)
         done = 0
         while done < budget:
             warp._pop_converged()
@@ -248,14 +260,14 @@ class WarpExecutor:
                 break
             if warp.at_barrier:
                 break
-            self._step(warp)
+            self._step(warp, gate)
             done += 1
         if done:
             _SIM_INSTRUCTIONS.inc(done)
         return done
 
     # ------------------------------------------------------------------
-    def _step(self, warp: WarpState) -> None:
+    def _step(self, warp: WarpState, hook_gate=True) -> None:
         top = warp.stack[-1]
         pc = top.next_pc
         if pc >= len(self.program):
@@ -270,7 +282,8 @@ class WarpExecutor:
         exec_mask = active & guard
 
         ctx: HookContext | None = None
-        if self.instrumentation is not None:
+        if (self.instrumentation is not None and hook_gate is not False
+                and (hook_gate is True or pc in hook_gate)):
             ctx = HookContext(warp, pc, instr, active, exec_mask, self.env)
             self.instrumentation.before(ctx)
             if ctx._override is not None:
@@ -279,7 +292,7 @@ class WarpExecutor:
 
         result = self._execute(warp, instr, exec_mask, active, top, pc)
 
-        if self.instrumentation is not None and ctx is not None:
+        if ctx is not None:
             self.instrumentation.after(ctx)
 
         warp.instructions_executed += 1

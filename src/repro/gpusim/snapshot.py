@@ -1,0 +1,290 @@
+"""Cheap deep snapshot/restore of simulated-GPU architectural state.
+
+The campaign acceleration layer (docs/PERFORMANCE.md) replays only the
+*post-activation suffix* of each faulty run: the golden run records
+checkpoints at CTA scheduling-round boundaries, and an injection whose
+first activation lies at dynamic instruction *A* restores the latest
+checkpoint at or before *A* instead of re-executing the fault-free
+prefix.  A snapshot therefore captures everything the executor can
+observe downstream:
+
+* device state — global memory (with allocator break), constant memory,
+  and the per-``(sm, subpartition)`` warp-slot counters that give error
+  descriptors their victim coordinates;
+* per-warp state — registers, predicates, alive mask, reconvergence
+  stack, barrier flag and the executed-instruction counter;
+* the resumed CTA's shared memory.
+
+Memories are stored as trimmed prefixes (trailing zero words dropped):
+restoring zero-fills the full array first, so a snapshot of a 4 MiB
+global memory holding a few KiB of live data costs a few KiB.
+
+Equality helpers (:func:`device_matches`, :func:`checkpoint_matches`)
+implement the early-exit comparator: if the faulty run's state equals
+the golden checkpoint at an *aligned* ``(launch, cta, executed)``
+boundary, and the descriptor has no activation sites past that boundary,
+the remainder of the run is bit-for-bit the golden run — the injection
+is Masked without simulating the suffix.  Per-warp
+``instructions_executed`` counters are deliberately excluded from the
+comparison: they influence no architectural state and no campaign
+outcome (the launch-level watchdog counter is aligned by construction at
+a matching boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigError
+from repro.gpusim.executor import WarpState, _StackEntry
+
+
+def _trim(data: np.ndarray) -> np.ndarray:
+    """Copy of *data* without its trailing zero words."""
+    nz = np.flatnonzero(data)
+    end = int(nz[-1]) + 1 if nz.size else 0
+    return data[:end].copy()
+
+
+def _prefix_equal(full: np.ndarray, trimmed: np.ndarray) -> bool:
+    """Does *full* equal *trimmed* padded with zeros?"""
+    t = trimmed.size
+    if not np.array_equal(full[:t], trimmed):
+        return False
+    return not full[t:].any()
+
+
+# ---------------------------------------------------------------------
+# device state
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Launch-independent device state (memories + slot counters)."""
+
+    mem_words: int
+    global_data: np.ndarray        # trimmed prefix, uint32
+    global_brk: int
+    constant_data: np.ndarray      # trimmed prefix, uint32
+    slot_counters: tuple[tuple[int, int, int], ...]
+
+
+def snapshot_device(dev) -> DeviceSnapshot:
+    return DeviceSnapshot(
+        mem_words=dev.config.global_mem_words,
+        global_data=_trim(dev.global_mem.data),
+        global_brk=dev.global_mem._brk,
+        constant_data=_trim(dev.constant_mem.data),
+        slot_counters=tuple(sorted(
+            (sm, sub, slot)
+            for (sm, sub), slot in dev._slot_counters.items())),
+    )
+
+
+def restore_device(dev, snap: DeviceSnapshot) -> None:
+    if dev.config.global_mem_words != snap.mem_words:
+        raise ConfigError(
+            f"snapshot taken with {snap.mem_words} global words cannot "
+            f"restore onto a {dev.config.global_mem_words}-word device")
+    g = dev.global_mem.data
+    g[:] = 0
+    g[:snap.global_data.size] = snap.global_data
+    dev.global_mem._brk = snap.global_brk
+    c = dev.constant_mem.data
+    c[:] = 0
+    c[:snap.constant_data.size] = snap.constant_data
+    dev._slot_counters.clear()
+    for sm, sub, slot in snap.slot_counters:
+        dev._slot_counters[(sm, sub)] = slot
+
+
+def device_matches(dev, snap: DeviceSnapshot) -> bool:
+    """Exact equality of the device's state with a snapshot (constant
+    memory excluded: it is host-written per launch and identical by
+    construction for the same launch sequence)."""
+    if dev.global_mem._brk != snap.global_brk:
+        return False
+    counters = tuple(sorted(
+        (sm, sub, slot) for (sm, sub), slot in dev._slot_counters.items()))
+    if counters != snap.slot_counters:
+        return False
+    return _prefix_equal(dev.global_mem.data, snap.global_data)
+
+
+# ---------------------------------------------------------------------
+# warp state
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WarpSnapshot:
+    """Deep copy of one warp's mutable architectural state + identity."""
+
+    cta: int
+    warp_in_cta: int
+    sm_id: int
+    subpartition: int
+    warp_slot: int
+    alive: np.ndarray              # bool (32,)
+    regs: np.ndarray               # uint32 (32, nregs)
+    preds: np.ndarray              # bool (32, 8)
+    at_barrier: bool
+    instructions_executed: int
+    stack_reconv: np.ndarray       # int64 (depth,); -1 encodes None
+    stack_next: np.ndarray         # int64 (depth,)
+    stack_masks: np.ndarray        # bool (depth, 32)
+
+
+def snapshot_warp(warp: WarpState) -> WarpSnapshot:
+    depth = len(warp.stack)
+    reconv = np.full(depth, -1, dtype=np.int64)
+    nxt = np.zeros(depth, dtype=np.int64)
+    masks = np.zeros((depth, warp.alive.size), dtype=bool)
+    for i, entry in enumerate(warp.stack):
+        if entry.reconv_pc is not None:
+            reconv[i] = entry.reconv_pc
+        nxt[i] = entry.next_pc
+        masks[i] = entry.mask
+    return WarpSnapshot(
+        cta=warp.cta, warp_in_cta=warp.warp_in_cta, sm_id=warp.sm_id,
+        subpartition=warp.subpartition, warp_slot=warp.warp_slot,
+        alive=warp.alive.copy(), regs=warp.regs.copy(),
+        preds=warp.preds.copy(), at_barrier=warp.at_barrier,
+        instructions_executed=warp.instructions_executed,
+        stack_reconv=reconv, stack_next=nxt, stack_masks=masks,
+    )
+
+
+def materialize_warp(snap: WarpSnapshot, program, block3, grid3,
+                     cta_coord) -> WarpState:
+    """Rebuild a live :class:`WarpState` from a snapshot.
+
+    Identity-derived vectors (tid/ctaid/ntid/nctaid) are pure functions
+    of the launch geometry, so ``WarpState.__init__`` recomputes them;
+    only the mutable state is overwritten from the snapshot.
+    """
+    warp = WarpState(program, snap.cta, snap.warp_in_cta, block3, grid3,
+                     cta_coord, snap.sm_id, snap.subpartition,
+                     snap.warp_slot)
+    warp.alive = snap.alive.copy()
+    warp.regs = snap.regs.copy()
+    warp.preds = snap.preds.copy()
+    warp.at_barrier = snap.at_barrier
+    warp.instructions_executed = snap.instructions_executed
+    warp.stack = [
+        _StackEntry(
+            reconv_pc=None if snap.stack_reconv[i] < 0
+            else int(snap.stack_reconv[i]),
+            next_pc=int(snap.stack_next[i]),
+            mask=snap.stack_masks[i].copy(),
+        )
+        for i in range(snap.stack_next.size)
+    ]
+    return warp
+
+
+def warp_matches(warp: WarpState, snap: WarpSnapshot) -> bool:
+    """Exact architectural equality (``instructions_executed`` excluded —
+    see the module docstring)."""
+    if (warp.cta != snap.cta or warp.warp_in_cta != snap.warp_in_cta
+            or warp.sm_id != snap.sm_id
+            or warp.subpartition != snap.subpartition
+            or warp.warp_slot != snap.warp_slot
+            or warp.at_barrier != snap.at_barrier):
+        return False
+    if len(warp.stack) != snap.stack_next.size:
+        return False
+    for i, entry in enumerate(warp.stack):
+        reconv = -1 if entry.reconv_pc is None else entry.reconv_pc
+        if (reconv != snap.stack_reconv[i]
+                or entry.next_pc != snap.stack_next[i]
+                or not np.array_equal(entry.mask, snap.stack_masks[i])):
+            return False
+    return (np.array_equal(warp.alive, snap.alive)
+            and np.array_equal(warp.preds, snap.preds)
+            and np.array_equal(warp.regs, snap.regs))
+
+
+# ---------------------------------------------------------------------
+# checkpoints and launch resumption
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaunchResume:
+    """Mid-launch resume point consumed by ``Device.launch(resume=...)``.
+
+    ``executed`` is the launch-cumulative instruction count at the
+    checkpoint, so the resumed launch's watchdog accounting (and its
+    timeout classification) is bit-identical to a cold replay.
+    """
+
+    cta: int
+    executed: int
+    device: DeviceSnapshot
+    warps: tuple[WarpSnapshot, ...]
+    shared: np.ndarray             # full shared-memory words of the CTA
+
+    # duck-typed interface used by Device._launch_grid
+    def apply_device(self, dev) -> None:
+        restore_device(dev, self.device)
+
+    def make_warps(self, program, block3, grid3, cta_coord):
+        return [materialize_warp(s, program, block3, grid3, cta_coord)
+                for s in self.warps]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Golden-run state at one CTA scheduling-round boundary."""
+
+    index: int                     # global dynamic-instruction index
+    launch: int                    # launch ordinal within the workload
+    cta: int                       # CTA being scheduled
+    executed: int                  # launch-cumulative instruction count
+    device: DeviceSnapshot
+    warps: tuple[WarpSnapshot, ...]
+    shared: np.ndarray
+
+    def resume(self) -> LaunchResume:
+        return LaunchResume(cta=self.cta, executed=self.executed,
+                            device=self.device, warps=self.warps,
+                            shared=self.shared)
+
+
+def capture_checkpoint(dev, launch: int, cta: int, executed: int,
+                       index: int, warps, shared_mem) -> Checkpoint:
+    return Checkpoint(
+        index=index, launch=launch, cta=cta, executed=executed,
+        device=snapshot_device(dev),
+        warps=tuple(snapshot_warp(w) for w in warps),
+        shared=shared_mem.data.copy(),
+    )
+
+
+def checkpoint_matches(dev, ck: Checkpoint, warps, shared_mem) -> bool:
+    """Early-exit comparator: does the live state at an aligned round
+    boundary equal the golden checkpoint exactly?"""
+    if len(warps) != len(ck.warps):
+        return False
+    if not np.array_equal(shared_mem.data, ck.shared):
+        return False
+    if not device_matches(dev, ck.device):
+        return False
+    return all(warp_matches(w, s) for w, s in zip(warps, ck.warps))
+
+
+__all__ = [
+    "Checkpoint",
+    "DeviceSnapshot",
+    "LaunchResume",
+    "WarpSnapshot",
+    "capture_checkpoint",
+    "checkpoint_matches",
+    "device_matches",
+    "materialize_warp",
+    "restore_device",
+    "snapshot_device",
+    "snapshot_warp",
+    "warp_matches",
+]

@@ -38,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--processes", type=int, default=1)
     parser.add_argument("--save", type=str, default=None,
                         help="serialize the result to this JSON file")
+    parser.add_argument("--no-accel", action="store_true",
+                        help="disable checkpointed differential replay; "
+                             "every injection cold-replays from instruction "
+                             "0 (outcomes are bit-identical either way)")
     args = parser.parse_args(argv)
 
     cfg = SwCampaignConfig(
@@ -47,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         seed=args.seed,
         processes=args.processes,
+        accel=not args.no_accel,
     )
     res = run_epr_campaign(cfg)
 

@@ -16,7 +16,7 @@ resumed after interruption.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.campaign.engine import (
     shard_of,
 )
 from repro.campaign.goldens import (
+    CHECKPOINT_CACHE,
     DEFAULT_MEM_WORDS,
     GOLDEN_CACHE,
     cached_workload,
@@ -86,6 +87,12 @@ class SwCampaignConfig:
     #: Masked outcomes, so every EPR denominator — and every EPR figure —
     #: is identical to an unpruned campaign
     static_prune: bool = False
+    #: checkpointed differential replay (:mod:`repro.swinjector.accel`):
+    #: skip the fault-free prefix of every injection, classify
+    #: never-activating descriptors without simulating, and early-exit
+    #: reconverged runs — bit-identical outcomes, less work
+    #: (docs/PERFORMANCE.md); ``--no-accel`` keeps the cold-replay path
+    accel: bool = True
 
 
 @dataclass
@@ -200,39 +207,103 @@ def run_one_injection(app: str, model: ErrorModel, index: int,
 # campaign-engine integration (kind: "epr")
 # ---------------------------------------------------------------------
 
+def _run_unit_accel(app: str, model: ErrorModel, indices, cfg, golden,
+                    watchdog: int, pruner) -> tuple[list, dict]:
+    """Accelerated unit body: plan all injections, bucket them by resume
+    checkpoint (injections sharing an epoch restore the same snapshot
+    back-to-back), run, and re-emit outcomes in original index order so
+    the unit's result is byte-identical to the sequential path."""
+    from repro.swinjector.accel import (
+        AccelStats,
+        activation_sites,
+        behavior_key,
+        run_one_injection_accel,
+    )
+
+    with obs.span("epr.trace", app=app):
+        trace = CHECKPOINT_CACHE.get(app, cfg.scale, cfg.seed, cfg.mem_words)
+    w = cached_workload(app, cfg.scale, cfg.seed)
+    progs = {p.name: p for p in w.programs().values()}
+    stats = AccelStats()
+    by_index: dict[int, InjectionOutcome] = {}
+    planned = []
+    groups: dict[tuple, list[int]] = {}
+    for i in indices:
+        desc = make_descriptor(model, cfg.seed, i)
+        if pruner is not None and pruner.statically_masked(desc):
+            by_index[i] = InjectionOutcome(app, model, "masked", pruned=True)
+            continue
+        key = behavior_key(desc)
+        if key is not None:
+            members = groups.get(key)
+            if members is not None:
+                # behaviorally identical to an already-planned descriptor:
+                # the run is deterministic in the key, so share its outcome
+                members.append(i)
+                stats.collapsed += 1
+                continue
+            groups[key] = members = [i]
+        else:
+            members = [i]
+        tool = NVBitPERfi(desc)
+        sites = activation_sites(trace, desc, tool.injector, progs)
+        if sites.size:
+            ck = trace.best_checkpoint(int(sites[0]))
+            epoch = (trace.launch_of(int(sites[0])),
+                     ck.index if ck is not None else -1)
+        else:
+            epoch = (-1, -1)
+        planned.append((epoch, i, sites, members))
+    planned.sort(key=lambda t: (t[0], t[1]))
+    for _, i, sites, members in planned:
+        out = run_one_injection_accel(app, model, i, cfg, golden,
+                                      trace, watchdog, stats, sites=sites)
+        for j in members:
+            by_index[j] = out if j == i else replace(out)
+    return [by_index[i] for i in indices], stats.as_dict()
+
+
 @register_runner("epr")
 def _run_epr_unit(payload: dict) -> dict:
     """Engine runner: one chunk of injections for one (app, model).
 
     With ``static_prune`` the unit first asks the static analyzer; a
     descriptor proved statically Masked is recorded as a Masked outcome
-    with zero activations instead of being simulated. Unit ids and index
-    assignment are identical either way, so pruned and unpruned
-    campaigns (and resumes mixing the two) stay comparable
-    unit-for-unit.
+    with zero activations instead of being simulated. With ``accel`` (the
+    default) injections run through checkpointed differential replay
+    (:mod:`repro.swinjector.accel`). Unit ids, index assignment and
+    outcomes are identical either way, so accelerated, pruned and plain
+    campaigns (and resumes mixing them) stay comparable unit-for-unit.
     """
     app = payload["app"]
     model = ErrorModel(payload["model"])
     scale, seed = payload["scale"], payload["seed"]
     mem_words = payload["mem_words"]
     static_prune = bool(payload.get("static_prune", False))
+    accel = bool(payload.get("accel", True))
     with obs.span("epr.golden", app=app):
         golden = GOLDEN_CACHE.get(app, scale, seed, mem_words)
     watchdog = 10 * golden.dynamic_instructions + 10_000
     cfg = SwCampaignConfig(apps=(app,), models=(model,), scale=scale,
                            seed=seed, mem_words=mem_words)
     pruner = _pruner_for(app, scale, seed) if static_prune else None
-    outcomes = []
+    accel_stats: dict = {"enabled": False}
     with obs.span("epr.unit", app=app, model=model.value,
                   injections=len(payload["indices"])):
-        for i in payload["indices"]:
-            if pruner is not None and pruner.statically_masked(
-                    make_descriptor(model, seed, i)):
-                outcomes.append(InjectionOutcome(app, model, "masked",
-                                                 pruned=True))
-            else:
-                outcomes.append(run_one_injection(app, model, i, cfg,
-                                                  golden.bits, watchdog))
+        if accel:
+            outcomes, accel_stats = _run_unit_accel(
+                app, model, payload["indices"], cfg, golden, watchdog,
+                pruner)
+        else:
+            outcomes = []
+            for i in payload["indices"]:
+                if pruner is not None and pruner.statically_masked(
+                        make_descriptor(model, seed, i)):
+                    outcomes.append(InjectionOutcome(app, model, "masked",
+                                                     pruned=True))
+                else:
+                    outcomes.append(run_one_injection(app, model, i, cfg,
+                                                      golden.bits, watchdog))
     for o in outcomes:
         _INJECTIONS_TOTAL.inc(model=model.value, workload=app,
                               outcome=o.outcome)
@@ -243,6 +314,7 @@ def _run_epr_unit(payload: dict) -> dict:
         "items": len(outcomes),
         "pruned": sum(o.pruned for o in outcomes),
         "golden_digest": golden.digest,
+        "accel": accel_stats,
         "outcomes": [
             {"outcome": o.outcome, "due_reason": o.due_reason,
              "activations": o.activations, "pruned": o.pruned}
@@ -266,6 +338,7 @@ class EprCampaignSpec:
             "mem_words": DEFAULT_MEM_WORDS,
             "chunk": DEFAULT_CHUNK,
             "static_prune": False,
+            "accel": True,
         }
         cfg.update({k: v for k, v in overrides.items() if v is not None})
         return cfg
@@ -285,6 +358,7 @@ class EprCampaignSpec:
             "mem_words": config.mem_words,
             "chunk": chunk,
             "static_prune": config.static_prune,
+            "accel": config.accel,
         }
 
     @staticmethod
@@ -301,6 +375,12 @@ class EprCampaignSpec:
         h0, m0 = GOLDEN_CACHE.stats()
         GOLDEN_CACHE.warm((app, config["scale"], config["seed"],
                            config["mem_words"]) for app in config["apps"])
+        if config.get("accel", True):
+            # warm traces in the parent so forked workers inherit the
+            # checkpoints copy-on-write instead of re-tracing per process
+            CHECKPOINT_CACHE.warm((app, config["scale"], config["seed"],
+                                   config["mem_words"])
+                                  for app in config["apps"])
         h1, m1 = GOLDEN_CACHE.stats()
         units = tuple(
             WorkUnit(unit_id=uid, kind="epr", shard=shard_of(uid,
@@ -310,7 +390,8 @@ class EprCampaignSpec:
                               "seed": config["seed"],
                               "mem_words": config["mem_words"],
                               "static_prune": config.get("static_prune",
-                                                         False)})
+                                                         False),
+                              "accel": config.get("accel", True)})
             for uid, app, model, indices in self._iter_unit_specs(config)
         )
         return CampaignPlan(kind="epr", config=dict(config), units=units,
@@ -326,6 +407,7 @@ class EprCampaignSpec:
             scale=config["scale"], seed=config["seed"],
             mem_words=config["mem_words"],
             static_prune=config.get("static_prune", False),
+            accel=config.get("accel", True),
         )
         result = EprResult(config=cfg)
         for uid, app, model, _ in self._iter_unit_specs(config):
@@ -371,6 +453,8 @@ def run_epr_campaign(config: SwCampaignConfig | None = None, *,
         # spill golden runs next to the results so a resume (in a fresh
         # process) reuses them instead of recomputing every reference
         GOLDEN_CACHE.persist_to(store.directory / "goldens")
+        if config.accel:
+            CHECKPOINT_CACHE.persist_to(store.directory / "checkpoints")
     plan = spec.build(plan_config)
     if telemetry is not None:
         telemetry.note_warm(*plan.warm_stats)

@@ -52,7 +52,8 @@ class NVBitPERfi:
     model's error functions.
     """
 
-    def __init__(self, descriptor: ErrorDescriptor):
+    def __init__(self, descriptor: ErrorDescriptor,
+                 site_filter: bool = False):
         self.descriptor = descriptor
         if descriptor.model not in INJECTOR_CLASSES:
             raise KeyError(f"{descriptor.model} is not software-injectable")
@@ -64,6 +65,36 @@ class NVBitPERfi:
         #: dynamic instructions actually corrupted (activation telemetry)
         self.activations = 0
         self._active_ctx = False
+        #: skip hook sites that cannot activate (accelerated path only)
+        self.site_filter = site_filter
+        self._pcs_cache: dict[int, tuple[object, frozenset[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def slice_gate(self, warp) -> bool | frozenset[int]:
+        """Which hook sites of *warp* can possibly activate.
+
+        Returns ``False`` (the warp never matches the descriptor's
+        coordinates), a frozenset of pcs where ``injector.targets`` holds,
+        or ``True``.  A hook at a non-returned site is a guaranteed no-op
+        pair (``before`` only clears ``_active_ctx``; ``after`` then does
+        nothing), so skipping it is bit-identical.  Disabled by default so
+        ``--no-accel`` keeps the legacy hook-everywhere behaviour.
+        """
+        if not self.site_filter:
+            return True
+        d = self.descriptor
+        if not d.matches_warp(warp.sm_id, warp.subpartition, warp.warp_slot):
+            return False
+        program = warp.program
+        cached = self._pcs_cache.get(id(program))
+        if cached is not None and cached[0] is program:
+            return cached[1]
+        pcs = frozenset(
+            pc for pc, instr in enumerate(program)
+            if self.injector.targets(instr))
+        # hold the program reference so id() stays pinned to it
+        self._pcs_cache[id(program)] = (program, pcs)
+        return pcs
 
     # ------------------------------------------------------------------
     def _victims(self, ctx: HookContext) -> np.ndarray | None:

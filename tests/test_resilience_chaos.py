@@ -181,10 +181,14 @@ class TestSigintCli:
         d = tmp_path / "cli"
         # 40 serial one-injection units: wide window between the first
         # committed result and campaign completion for the SIGINT to land
+        # --no-accel: the interrupt window assumes cold per-injection
+        # replays; the accelerated path finishes tiny units too fast for
+        # the SIGINT to reliably land mid-campaign
         proc = _spawn(["-m", "repro.campaign"],
                       "run", "--scale", "tiny", "--apps", "vectoradd",
                       "--models", "WV,IMS", "--injections", "20",
-                      "--chunk", "1", "--serial", "--dir", str(d))
+                      "--chunk", "1", "--serial", "--no-accel",
+                      "--dir", str(d))
         try:
             _wait_for_results(d, 1, proc)
             if proc.poll() is None:
@@ -220,7 +224,7 @@ class TestSigintCli:
         cfg = SwCampaignConfig(apps=("vectoradd",),
                                models=(ErrorModel.WV, ErrorModel.IMS),
                                injections_per_model=20, scale="tiny",
-                               processes=1, fail_fast=False)
+                               processes=1, fail_fast=False, accel=False)
         fresh_store = CampaignStore(tmp_path / "fresh")
         run_epr_campaign(cfg, store=fresh_store, chunk=1)
         assert _normalized(store) == _normalized(fresh_store)

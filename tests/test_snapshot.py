@@ -1,0 +1,300 @@
+"""Snapshot/restore of simulated-GPU state + the checkpoint cache.
+
+These are the building blocks of checkpointed differential replay
+(docs/PERFORMANCE.md): device/warp snapshots must round-trip exactly,
+the equality comparators must implement the documented exclusions, and a
+launch resumed from a mid-run checkpoint must finish bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.goldens import (
+    CheckpointCache,
+    checkpoint_epoch,
+    trace_key,
+)
+from repro.gpusim import Device, DeviceConfig
+from repro.gpusim.executor import WarpState
+from repro.gpusim.snapshot import (
+    capture_checkpoint,
+    checkpoint_matches,
+    device_matches,
+    materialize_warp,
+    restore_device,
+    snapshot_device,
+    snapshot_warp,
+    warp_matches,
+)
+from repro.isa import CmpOp, KernelBuilder
+
+MEM = 1 << 16
+
+
+def _device() -> Device:
+    return Device(DeviceConfig(global_mem_words=MEM))
+
+
+def _counting_kernel():
+    """tid-indexed accumulate with a branch: exercises stack + memory."""
+    k = KernelBuilder("snapcount", nregs=16)
+    tid = k.s2r_tid_x()
+    cta = k.s2r_ctaid_x()
+    ntid = k.s2r_ntid_x()
+    g = k.reg()
+    k.imad(g, cta, ntid, tid)
+    base = k.load_param(0)
+    off = k.reg()
+    k.shl(off, g, imm=2)
+    addr = k.reg()
+    k.iadd(addr, base, off)
+    v = k.reg()
+    k.gld(v, addr)
+    two = k.mov32i_new(2)
+    p = k.isetp_reg(v, two, CmpOp.GE)
+    with k.if_(p):
+        k.iadd(v, v, two)
+    k.iadd(v, v, v)
+    k.gst(addr, v)
+    k.exit()
+    return k.build()
+
+
+class TestDeviceSnapshot:
+    def test_round_trip_restores_memory_and_brk(self):
+        dev = _device()
+        ptr = dev.alloc_array(np.arange(64, dtype=np.uint32))
+        snap = snapshot_device(dev)
+        assert device_matches(dev, snap)
+
+        dev.write(ptr, np.full(64, 7, dtype=np.uint32))
+        dev.alloc(128)
+        assert not device_matches(dev, snap)
+
+        restore_device(dev, snap)
+        assert device_matches(dev, snap)
+        assert np.array_equal(dev.read(ptr, 64),
+                              np.arange(64, dtype=np.uint32))
+
+    def test_snapshot_is_trimmed(self):
+        dev = _device()
+        dev.alloc_array(np.ones(16, dtype=np.uint32))
+        snap = snapshot_device(dev)
+        # a few live words must not snapshot the whole address space
+        assert snap.global_data.size < 64
+        assert snap.mem_words == MEM
+
+    def test_restore_rejects_geometry_mismatch(self):
+        from repro.common.exceptions import ConfigError
+
+        snap = snapshot_device(_device())
+        other = Device(DeviceConfig(global_mem_words=MEM * 2))
+        with pytest.raises(ConfigError):
+            restore_device(other, snap)
+
+    def test_slot_counters_round_trip(self):
+        dev = _device()
+        program = _counting_kernel()
+        ptr = dev.alloc_array(np.arange(32, dtype=np.uint32))
+        snap0 = snapshot_device(dev)
+        dev.launch(program, grid=(2, 1, 1), block=(32, 1, 1), params=(ptr,))
+        assert not device_matches(dev, snap0)  # counters + memory moved
+        after = snapshot_device(dev)
+        restore_device(dev, snap0)
+        assert device_matches(dev, snap0)
+        restore_device(dev, after)
+        assert device_matches(dev, after)
+
+
+class TestWarpSnapshot:
+    def _warp(self) -> WarpState:
+        program = _counting_kernel()
+        return WarpState(program, 0, 0, (32, 1, 1), (1, 1, 1), (0, 0, 0),
+                         sm_id=1, subpartition=2, warp_slot=3)
+
+    def test_round_trip_exact(self):
+        warp = self._warp()
+        warp.regs[:, 4] = 0xDEAD
+        warp.preds[:, 1] = True
+        snap = snapshot_warp(warp)
+        clone = materialize_warp(snap, warp.program, (32, 1, 1), (1, 1, 1),
+                                 (0, 0, 0))
+        assert warp_matches(clone, snap)
+        assert np.array_equal(clone.regs, warp.regs)
+        assert np.array_equal(clone.preds, warp.preds)
+        assert clone.sm_id == 1 and clone.warp_slot == 3
+
+    def test_mutation_breaks_match(self):
+        warp = self._warp()
+        snap = snapshot_warp(warp)
+        warp.regs[0, 0] ^= 1
+        assert not warp_matches(warp, snap)
+
+    def test_instructions_executed_excluded_from_match(self):
+        # the counter influences no architectural state; the early-exit
+        # comparator must ignore it (docs/PERFORMANCE.md)
+        warp = self._warp()
+        snap = snapshot_warp(warp)
+        warp.instructions_executed += 17
+        assert warp_matches(warp, snap)
+
+    def test_stack_none_reconv_round_trips(self):
+        warp = self._warp()
+        assert warp.stack[0].reconv_pc is None
+        clone = materialize_warp(snapshot_warp(warp), warp.program,
+                                 (32, 1, 1), (1, 1, 1), (0, 0, 0))
+        assert clone.stack[0].reconv_pc is None
+
+
+class TestCheckpointResume:
+    def test_resumed_launch_matches_cold_run(self):
+        program = _counting_kernel()
+        data = np.arange(96, dtype=np.uint32)
+        grid, block = (3, 1, 1), (32, 1, 1)
+
+        # uninterrupted reference
+        dev_ref = _device()
+        p_ref = dev_ref.alloc_array(data)
+        res_ref = dev_ref.launch(program, grid=grid, block=block,
+                                 params=(p_ref,))
+        want = dev_ref.read(p_ref, data.size)
+
+        # capture one mid-launch checkpoint
+        cks = []
+
+        def hook(cta, executed, warps, shared_mem):
+            if executed and not cks:
+                cks.append(capture_checkpoint(dev, 0, cta, executed,
+                                              executed, warps, shared_mem))
+
+        dev = _device()
+        ptr = dev.alloc_array(data)
+        dev.launch(program, grid=grid, block=block, params=(ptr,),
+                   round_hook=hook)
+        assert cks, "round hook never fired mid-launch"
+
+        # resume from the checkpoint on a fresh device
+        dev2 = _device()
+        p2 = dev2.alloc_array(data)
+        assert p2 == ptr
+        res2 = dev2.launch(program, grid=grid, block=block, params=(p2,),
+                           resume=cks[0].resume())
+        assert np.array_equal(dev2.read(p2, data.size), want)
+        assert res2.instructions_executed == res_ref.instructions_executed
+
+    def test_checkpoint_matches_at_aligned_boundary(self):
+        program = _counting_kernel()
+        data = np.arange(64, dtype=np.uint32)
+        grid, block = (2, 1, 1), (32, 1, 1)
+
+        first: dict = {}
+
+        def capture(cta, executed, warps, shared_mem):
+            if executed and not first:
+                first["ck"] = capture_checkpoint(
+                    dev, 0, cta, executed, executed, warps, shared_mem)
+
+        dev = _device()
+        dev.launch(program, grid=grid, block=block,
+                   params=(dev.alloc_array(data),), round_hook=capture)
+        ck = first["ck"]
+
+        hits = []
+
+        def compare(cta, executed, warps, shared_mem):
+            if (cta, executed) == (ck.cta, ck.executed):
+                hits.append(checkpoint_matches(dev2, ck, warps, shared_mem))
+
+        dev2 = _device()
+        dev2.launch(program, grid=grid, block=block,
+                    params=(dev2.alloc_array(data),), round_hook=compare)
+        assert hits == [True]
+
+        # a diverged replay must NOT match
+        diverged = []
+
+        def compare_diverged(cta, executed, warps, shared_mem):
+            if (cta, executed) == (ck.cta, ck.executed):
+                diverged.append(
+                    checkpoint_matches(dev3, ck, warps, shared_mem))
+
+        dev3 = _device()
+        dev3.launch(program, grid=grid, block=block,
+                    params=(dev3.alloc_array(data + 1),),
+                    round_hook=compare_diverged)
+        assert diverged == [False]
+
+
+class TestCheckpointCache:
+    def test_epoch_bounds(self):
+        assert checkpoint_epoch(0) == 64
+        assert checkpoint_epoch(100) == 64
+        assert checkpoint_epoch(16 * 8192) == 8192
+        assert checkpoint_epoch(10 ** 9) == 8192
+
+    def test_content_addressed_and_hit_counted(self):
+        cache = CheckpointCache()
+        a = cache.get("vectoradd", "tiny", 1)
+        b = cache.get("vectoradd", "tiny", 1)
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+        c = cache.get("vectoradd", "tiny", 2)
+        assert c is not a
+        assert cache.misses == 2
+        assert a.key == trace_key("vectoradd", "tiny", 1, 1 << 20)
+
+    def test_disk_round_trip_bit_identical(self, tmp_path):
+        cache = CheckpointCache()
+        cache.persist_to(tmp_path)
+        a = cache.get("vectoradd", "tiny", 1)
+
+        fresh = CheckpointCache()
+        fresh.persist_to(tmp_path)
+        b = fresh.get("vectoradd", "tiny", 1)
+        assert fresh.disk_hits == 1 and fresh.misses == 0
+        assert b.digest == a.digest
+        assert np.array_equal(b.ev_pc, a.ev_pc)
+        assert np.array_equal(b.ev_coord, a.ev_coord)
+        assert np.array_equal(b.ev_mask, a.ev_mask)
+        assert b.coords == a.coords
+        assert len(b.checkpoints) == len(a.checkpoints)
+        for x, y in zip(b.checkpoints, a.checkpoints):
+            assert (x.index, x.launch, x.cta, x.executed) == \
+                   (y.index, y.launch, y.cta, y.executed)
+            assert np.array_equal(x.shared, y.shared)
+        assert len(b.launches) == len(a.launches)
+        assert b.total_instructions == a.total_instructions
+
+    def test_corrupt_disk_entry_is_discarded(self, tmp_path):
+        cache = CheckpointCache()
+        cache.persist_to(tmp_path)
+        cache.get("vectoradd", "tiny", 1)
+        files = list(tmp_path.glob("*.trace.npz"))
+        assert len(files) == 1
+        files[0].write_bytes(b"garbage" * 100)
+
+        fresh = CheckpointCache()
+        fresh.persist_to(tmp_path)
+        fresh.get("vectoradd", "tiny", 1)
+        assert fresh.disk_rejects == 1
+        assert fresh.misses == 1  # recomputed, not trusted
+
+    def test_trace_aligns_with_golden_run(self):
+        from repro.campaign.goldens import GOLDEN_CACHE
+
+        cache = CheckpointCache()
+        trace = cache.get("gemm", "tiny", 3)
+        golden = GOLDEN_CACHE.get("gemm", "tiny", 3)
+        assert trace.total_instructions == golden.dynamic_instructions
+        assert trace.ev_pc.size == trace.total_instructions
+        starts = [rec.start_index for rec in trace.launches]
+        assert starts == sorted(starts)
+        last = trace.launches[-1]
+        assert last.start_index + last.instructions_executed == \
+               trace.total_instructions
+        for ck in trace.checkpoints:
+            rec = trace.launches[ck.launch]
+            assert ck.index == rec.start_index + ck.executed
